@@ -1,0 +1,101 @@
+#include "bench_common.h"
+
+#include <fstream>
+
+#include "util/error.h"
+#include "util/units.h"
+
+namespace rlceff::bench {
+
+namespace {
+constexpr const char* cache_path = "rlceff_cells.lib";
+}
+
+charlib::CellLibrary& library() {
+  static charlib::CellLibrary lib = [] {
+    std::ifstream probe(cache_path);
+    if (probe.good()) {
+      try {
+        return charlib::CellLibrary::load(probe);
+      } catch (const Error&) {
+        // Corrupt cache: fall through and re-characterize on demand.
+      }
+    }
+    return charlib::CellLibrary();
+  }();
+  return lib;
+}
+
+void warm_library(const std::vector<double>& sizes) {
+  charlib::CellLibrary& lib = library();
+  bool dirty = false;
+  for (double size : sizes) {
+    if (lib.find(size) == nullptr) {
+      std::printf("# characterizing %gX driver (cached in %s)...\n", size, cache_path);
+      std::fflush(stdout);
+      lib.ensure_driver(technology(), size);
+      dirty = true;
+    }
+  }
+  if (dirty) lib.save_file(cache_path);
+}
+
+core::ExperimentOptions full_fidelity() {
+  core::ExperimentOptions opt;
+  opt.deck.segments = 120;
+  opt.deck.dt = 0.25 * units::ps;
+  return opt;
+}
+
+core::ExperimentOptions sweep_fidelity() {
+  core::ExperimentOptions opt;
+  opt.deck.segments = 80;
+  opt.deck.dt = 0.5 * units::ps;
+  return opt;
+}
+
+std::string pct(double fraction_error_percent) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%+.1f%%", fraction_error_percent);
+  return buf;
+}
+
+void ascii_plot(const std::vector<const wave::Waveform*>& series,
+                const std::vector<char>& glyphs, double t0, double t1, double v_max,
+                int width, int height) {
+  std::vector<std::string> canvas(static_cast<std::size_t>(height),
+                                  std::string(static_cast<std::size_t>(width), ' '));
+  for (std::size_t s = 0; s < series.size(); ++s) {
+    for (int x = 0; x < width; ++x) {
+      const double t = t0 + (t1 - t0) * x / (width - 1);
+      const double v = series[s]->value_at(t);
+      int y = static_cast<int>((v / v_max) * (height - 1) + 0.5);
+      if (y < 0) y = 0;
+      if (y >= height) y = height - 1;
+      canvas[static_cast<std::size_t>(height - 1 - y)][static_cast<std::size_t>(x)] =
+          glyphs[s];
+    }
+  }
+  std::printf("  %.2f V\n", v_max);
+  for (const std::string& row : canvas) std::printf("  |%s\n", row.c_str());
+  std::printf("  +%s\n", std::string(static_cast<std::size_t>(width), '-').c_str());
+  std::printf("  %.0f ps%*s%.0f ps\n", t0 / units::ps, width - 6, "",
+              t1 / units::ps);
+}
+
+void print_series(const std::vector<const wave::Waveform*>& series,
+                  const std::vector<std::string>& names, double t0, double t1,
+                  std::size_t rows) {
+  std::printf("  %10s", "t [ps]");
+  for (const std::string& n : names) std::printf("  %12s", n.c_str());
+  std::printf("\n");
+  for (std::size_t r = 0; r < rows; ++r) {
+    const double t = t0 + (t1 - t0) * static_cast<double>(r) /
+                              static_cast<double>(rows - 1);
+    std::printf("  %10.1f", t / units::ps);
+    for (const wave::Waveform* w : series) std::printf("  %12.4f", w->value_at(t));
+    std::printf("\n");
+  }
+}
+
+}  // namespace rlceff::bench

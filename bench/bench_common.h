@@ -1,0 +1,54 @@
+// Shared infrastructure for the experiment-reproduction benches.
+//
+// Each bench binary regenerates one table or figure of the paper.  They all
+// need the same pieces: the 0.18 um technology, a cell library (characterized
+// once and cached on disk as ./rlceff_cells.lib so consecutive bench runs
+// skip the ~400 characterization simulations), full-fidelity experiment
+// options, and small text/ASCII-plot helpers.
+#ifndef RLCEFF_BENCH_BENCH_COMMON_H
+#define RLCEFF_BENCH_BENCH_COMMON_H
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "charlib/library.h"
+#include "core/experiment.h"
+#include "tech/technology.h"
+#include "util/units.h"
+#include "waveform/waveform.h"
+
+namespace rlceff::bench {
+
+inline const tech::Technology& technology() {
+  static const tech::Technology t = tech::Technology::cmos180();
+  return t;
+}
+
+// Disk-cached cell library shared by all bench binaries.
+charlib::CellLibrary& library();
+// Characterizes (or loads) the given sizes up front and persists the cache.
+void warm_library(const std::vector<double>& sizes);
+
+// Full fidelity: what the paper-facing tables use.
+core::ExperimentOptions full_fidelity();
+// Sweep fidelity: slightly coarser, for the 165-case Fig-7 scatter.
+core::ExperimentOptions sweep_fidelity();
+
+// "+4.4%"-style formatting.
+std::string pct(double fraction_error_percent);
+
+// ASCII chart of one or more waveforms over [t0, t1] (voltages 0..v_max).
+// Series are drawn with the given glyphs; later series overwrite earlier.
+void ascii_plot(const std::vector<const wave::Waveform*>& series,
+                const std::vector<char>& glyphs, double t0, double t1, double v_max,
+                int width = 78, int height = 20);
+
+// Tabulated sample dump (time in ps, one column per series).
+void print_series(const std::vector<const wave::Waveform*>& series,
+                  const std::vector<std::string>& names, double t0, double t1,
+                  std::size_t rows);
+
+}  // namespace rlceff::bench
+
+#endif  // RLCEFF_BENCH_BENCH_COMMON_H

@@ -1,0 +1,105 @@
+// Performance benchmark backing the paper's "computationally efficient"
+// claim: the full library-compatible modeling flow (moments -> Eq-3 fit ->
+// breakpoint -> Ceff1/Ceff2 iterations -> two-ramp assembly) versus the
+// transient simulation it replaces.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "core/ceff.h"
+#include "core/charge.h"
+#include "core/driver_model.h"
+#include "moments/admittance.h"
+#include "moments/awe.h"
+#include "tech/testbench.h"
+#include "tech/wire.h"
+
+using namespace rlceff;
+using namespace rlceff::units;
+
+namespace {
+
+const tech::WireParasitics& wire() {
+  static const tech::WireParasitics w = *tech::find_paper_wire_case(5.0, 1.6);
+  return w;
+}
+
+void bm_moment_fit(benchmark::State& state) {
+  for (auto _ : state) {
+    const util::Series y = moments::distributed_line_admittance(
+        wire().resistance, wire().inductance, wire().capacitance, 20 * ff);
+    benchmark::DoNotOptimize(moments::RationalAdmittance(y));
+  }
+}
+BENCHMARK(bm_moment_fit);
+
+void bm_ceff_iterations(benchmark::State& state) {
+  const util::Series y = moments::distributed_line_admittance(
+      wire().resistance, wire().inductance, wire().capacitance, 20 * ff);
+  const core::ChargeModel load{moments::RationalAdmittance(y)};
+  const charlib::CharacterizedDriver& driver = *bench::library().find(100.0);
+  const auto transition = [&](double c) { return driver.output_transition(100 * ps, c); };
+  for (auto _ : state) {
+    const auto it1 = core::iterate_ceff1(load, 0.65, transition);
+    const auto it2 = core::iterate_ceff2(load, 0.65, it1.ramp_time, transition);
+    benchmark::DoNotOptimize(it2.ceff);
+  }
+}
+BENCHMARK(bm_ceff_iterations);
+
+void bm_full_model_flow(benchmark::State& state) {
+  const charlib::CharacterizedDriver& driver = *bench::library().find(100.0);
+  for (auto _ : state) {
+    const auto model = core::model_driver_output(driver, 100 * ps, wire(), 20 * ff);
+    benchmark::DoNotOptimize(model.t50);
+  }
+}
+BENCHMARK(bm_full_model_flow);
+
+void bm_awe_far_end(benchmark::State& state) {
+  const charlib::CharacterizedDriver& driver = *bench::library().find(100.0);
+  const auto model = core::model_driver_output(driver, 100 * ps, wire(), 20 * ff);
+  const util::Series h = moments::distributed_transfer(
+      wire().resistance, wire().inductance, wire().capacitance, 20 * ff);
+  const moments::AweModel awe = moments::AweModel::make(h, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(awe.response(model.waveform, 1 * ns, 5 * ps));
+  }
+}
+BENCHMARK(bm_awe_far_end);
+
+void bm_reference_transient(benchmark::State& state) {
+  tech::DeckOptions deck;
+  deck.segments = 120;
+  deck.dt = 0.25 * ps;
+  deck.t_stop = 1.0 * ns;
+  for (auto _ : state) {
+    const auto sim = tech::simulate_driver_line(bench::technology(),
+                                                tech::Inverter{100.0}, 100 * ps,
+                                                wire(), deck);
+    benchmark::DoNotOptimize(sim.near_end.size());
+  }
+}
+BENCHMARK(bm_reference_transient)->Unit(benchmark::kMillisecond);
+
+void bm_far_end_replay_sim(benchmark::State& state) {
+  const charlib::CharacterizedDriver& driver = *bench::library().find(100.0);
+  const auto model = core::model_driver_output(driver, 100 * ps, wire(), 20 * ff);
+  tech::DeckOptions deck;
+  deck.segments = 120;
+  deck.dt = 0.25 * ps;
+  deck.t_stop = 1.0 * ns;
+  for (auto _ : state) {
+    const auto sim = tech::simulate_source_line(model.waveform, wire(), deck);
+    benchmark::DoNotOptimize(sim.far_end.size());
+  }
+}
+BENCHMARK(bm_far_end_replay_sim)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::warm_library({100.0});
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

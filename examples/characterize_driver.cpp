@@ -1,0 +1,70 @@
+// Library characterization walkthrough: build the NLDM-style tables for one
+// driver with the built-in simulator, inspect them, extract the Thevenin
+// resistance, and round-trip the library through its text format.
+//
+// Usage: characterize_driver [size] [output.lib]
+#include <cstdio>
+#include <cstdlib>
+
+#include "charlib/library.h"
+#include "util/units.h"
+
+using namespace rlceff;
+using namespace rlceff::units;
+
+int main(int argc, char** argv) {
+  const double size = argc > 1 ? std::atof(argv[1]) : 75.0;
+  const char* out_path = argc > 2 ? argv[2] : nullptr;
+
+  const tech::Technology technology = tech::Technology::cmos180();
+  std::printf("characterizing a %gX inverter (NMOS %.2f um / PMOS %.2f um) ...\n", size,
+              tech::Inverter{size}.nmos_width(technology) / um,
+              tech::Inverter{size}.pmos_width(technology) / um);
+
+  const charlib::CharacterizedDriver driver =
+      charlib::characterize_driver(technology, tech::Inverter{size});
+
+  const auto& slews = driver.delay_table().row_axis();
+  const auto& loads = driver.delay_table().col_axis();
+
+  std::printf("\ndelay table [ps] (rows: input slew, cols: load):\n%10s", "");
+  for (double c : loads) std::printf("%9.2fp", c / pf);
+  std::printf("\n");
+  for (std::size_t i = 0; i < slews.size(); ++i) {
+    std::printf("%8.0fps", slews[i] / ps);
+    for (std::size_t j = 0; j < loads.size(); ++j) {
+      std::printf("%10.1f", driver.delay_table().at(i, j) / ps);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\noutput transition table [ps]:\n%10s", "");
+  for (double c : loads) std::printf("%9.2fp", c / pf);
+  std::printf("\n");
+  for (std::size_t i = 0; i < slews.size(); ++i) {
+    std::printf("%8.0fps", slews[i] / ps);
+    for (std::size_t j = 0; j < loads.size(); ++j) {
+      std::printf("%10.1f", driver.transition_table().at(i, j) / ps);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nThevenin resistance (50-90%% exponential fit, ref [3]):\n");
+  for (double load : {200 * ff, 700 * ff, 1.4 * pf, 2.8 * pf}) {
+    std::printf("  load %5.2f pF: Rs = %.1f ohm\n", load / pf,
+                driver.driver_resistance(100 * ps, load));
+  }
+  std::printf("  (rule of thumb: ~3.7 kohm / drive strength = %.1f ohm)\n",
+              3.7e3 / size);
+
+  charlib::CellLibrary library;
+  library.add(driver);
+  if (out_path != nullptr) {
+    library.save_file(out_path);
+    std::printf("\nsaved library to %s\n", out_path);
+    const charlib::CellLibrary loaded = charlib::CellLibrary::load_file(out_path);
+    std::printf("round trip ok: %zu cell(s), delay(100ps, 1pF) = %.2f ps\n",
+                loaded.size(), loaded.find(size)->delay(100 * ps, 1 * pf) / ps);
+  }
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Clock spine: the two-ramp flow on a branched RLC net.
+//
+// A clock spine drives two symmetric arms from a 2 mm trunk; each arm ends
+// in a bank of receiver gates.  The load is no longer a uniform line, so the
+// uniform-line API does not apply — the tree variant of the flow computes
+// the driving-point moments over the whole net and takes the breakpoint and
+// flight time from the dominant root-to-leaf path.
+#include <cstdio>
+
+#include "charlib/library.h"
+#include "core/driver_model.h"
+#include "tech/testbench.h"
+#include "tech/wire.h"
+#include "util/units.h"
+
+using namespace rlceff;
+using namespace rlceff::units;
+
+int main() {
+  const tech::Technology technology = tech::Technology::cmos180();
+  const tech::WireModel wires;
+
+  // The net: 2 mm x 2.0 um trunk, two 2.5 mm x 1.2 um arms, each arm loaded
+  // by eight 10X receivers.
+  const tech::WireParasitics trunk_w = wires.extract({2 * mm, 2.0 * um});
+  const tech::WireParasitics arm_w = wires.extract({2.5 * mm, 1.2 * um});
+  const double bank_cap = 8.0 * tech::Inverter{10.0}.input_capacitance(technology);
+
+  moments::RlcBranch arm{arm_w.resistance, arm_w.inductance,
+                         arm_w.capacitance + bank_cap, {}};
+  moments::RlcBranch net{trunk_w.resistance, trunk_w.inductance, trunk_w.capacitance,
+                         {arm, arm}};
+
+  const moments::TreePathMetrics metrics = moments::tree_metrics(net);
+  std::printf("clock spine: trunk 2 mm + two 2.5 mm arms, %.0f fF per leaf bank\n",
+              bank_cap / ff);
+  std::printf("dominant path: Z0=%.1f ohm, tf=%.1f ps, R=%.1f ohm; total C=%.2f pF\n\n",
+              metrics.z0, metrics.time_of_flight / ps, metrics.path_resistance,
+              metrics.total_capacitance / pf);
+
+  charlib::CharacterizationGrid grid;
+  grid.input_slews = {50 * ps, 100 * ps, 200 * ps};
+  grid.loads = {50 * ff, 200 * ff, 500 * ff, 1 * pf, 2 * pf, 4 * pf};
+  charlib::CellLibrary library;
+  const charlib::CharacterizedDriver& driver =
+      library.ensure_driver(technology, 125.0, grid);
+
+  const core::DriverOutputModel model =
+      core::model_driver_output(driver, 100 * ps, net);
+  std::printf("model: %s, f=%.2f, Ceff1=%.0f fF (Tr1=%.0f ps), Ceff2=%.0f fF, "
+              "gate delay %.1f ps\n",
+              model.kind == core::ModelKind::two_ramp ? "two-ramp" : "one-ramp",
+              model.f, model.ceff1.ceff / ff, model.ceff1.ramp_time / ps,
+              model.ceff2.ceff / ff, model.t50 / ps);
+
+  // Validate against the simulator: drive the discretized tree.
+  tech::DeckOptions deck;
+  deck.dt = 0.5 * ps;
+  deck.t_stop = 2 * ns;
+  const tech::TreeSimResult sim = tech::simulate_driver_tree(
+      technology, tech::Inverter{125.0}, 100 * ps, net, deck, 40);
+  const auto near = wave::measure_rising_edge(sim.near_end, 0.0, technology.vdd);
+  const auto leaf = wave::measure_rising_edge(sim.leaves[0], 0.0, technology.vdd);
+
+  std::printf("\nsimulated: gate delay %.1f ps (model %+.1f%%), leaf arrival %.1f ps, "
+              "leaf slew %.1f ps\n",
+              (near.t50 - sim.input_time_50) / ps,
+              100.0 * (model.t50 / (near.t50 - sim.input_time_50) - 1.0),
+              (leaf.t50 - sim.input_time_50) / ps, leaf.transition_10_90() / ps);
+
+  // Replay the modeled waveform through the tree for the sink arrival.
+  std::vector<std::pair<double, double>> pts = model.waveform.points();
+  for (auto& [t, v] : pts) t += sim.input_time_50;
+  const tech::TreeSimResult replay =
+      tech::simulate_source_tree(wave::Pwl(std::move(pts)), net, deck, 40);
+  const auto leaf_m = wave::measure_rising_edge(replay.leaves[0], 0.0, technology.vdd);
+  std::printf("modeled sink arrival via replay: %.1f ps (%+.1f%% vs simulation)\n",
+              (leaf_m.t50 - sim.input_time_50) / ps,
+              100.0 * ((leaf_m.t50 - sim.input_time_50) /
+                           (leaf.t50 - sim.input_time_50) - 1.0));
+  return 0;
+}

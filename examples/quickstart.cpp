@@ -1,0 +1,72 @@
+// Quickstart: model the driver output of one RLC net with the two-ramp
+// effective-capacitance flow and compare it against a transient simulation.
+//
+// Build & run (from the repository root):
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+#include <cstdio>
+
+#include "charlib/library.h"
+#include "core/experiment.h"
+#include "tech/wire.h"
+#include "util/units.h"
+
+using namespace rlceff;
+using namespace rlceff::units;
+
+int main() {
+  // 1. Technology and wire: a 5 mm x 1.6 um global wire in the calibrated
+  //    0.18 um process.  WireModel plays the role of a field solver.
+  const tech::Technology technology = tech::Technology::cmos180();
+  const tech::WireModel wires;
+  const tech::WireParasitics wire = wires.extract({5 * mm, 1.6 * um});
+  std::printf("wire: R=%.1f ohm  L=%.2f nH  C=%.2f pF  (Z0=%.1f ohm, tf=%.1f ps)\n",
+              wire.resistance, wire.inductance / nh, wire.capacitance / pf, wire.z0(),
+              wire.time_of_flight() / ps);
+
+  // 2. Characterize a 100X inverter driver (in production flows this comes
+  //    from the cell library; here we build a small table on the fly).
+  charlib::CharacterizationGrid grid;
+  grid.input_slews = {50 * ps, 100 * ps, 200 * ps};
+  grid.loads = {50 * ff, 200 * ff, 500 * ff, 1 * pf, 2 * pf, 4 * pf};
+  charlib::CellLibrary library;
+  library.ensure_driver(technology, 100.0, grid);
+
+  // 3. Run the paper's flow against a simulated reference.
+  core::ExperimentCase net;
+  net.driver_size = 100.0;
+  net.input_slew = 100 * ps;
+  net.wire = wire;
+  net.c_load_far = 20 * ff;  // receiver gate capacitance
+
+  core::ExperimentOptions options;
+  options.grid = grid;
+  const core::ExperimentResult r =
+      core::run_experiment(technology, library, net, options);
+
+  // 4. Inspect the model.
+  const core::DriverOutputModel& m = r.model;
+  std::printf("\ninductance significant: %s (Rs=%.1f ohm vs Z0=%.1f ohm)\n",
+              m.criteria.significant() ? "yes -> two-ramp model" : "no -> one ramp",
+              m.rs, m.z0);
+  std::printf("breakpoint f = %.2f  (first ramp ends at %.2f V)\n", m.f,
+              m.f * technology.vdd);
+  std::printf("Ceff1 = %.0f fF (Tr1 = %.0f ps)   Ceff2 = %.0f fF (Tr2' = %.0f ps)\n",
+              m.ceff1.ceff / ff, m.ceff1.ramp_time / ps, m.ceff2.ceff / ff,
+              m.tr2_new / ps);
+  std::printf("total line capacitance %.0f fF -- note Ceff1 << Ctotal << Ceff2\n",
+              m.admittance.total_capacitance() / ff);
+
+  // 5. Model accuracy against the simulator.
+  std::printf("\n              simulated     model\n");
+  std::printf("gate delay    %6.1f ps   %6.1f ps  (%+.1f%%)\n", r.ref_near.delay / ps,
+              r.model_near.delay / ps,
+              core::pct_error(r.model_near.delay, r.ref_near.delay));
+  std::printf("output slew   %6.1f ps   %6.1f ps  (%+.1f%%)\n", r.ref_near.slew / ps,
+              r.model_near.slew / ps,
+              core::pct_error(r.model_near.slew, r.ref_near.slew));
+  std::printf("far-end delay %6.1f ps   %6.1f ps  (%+.1f%%)\n", r.ref_far.delay / ps,
+              r.model_far.delay / ps,
+              core::pct_error(r.model_far.delay, r.ref_far.delay));
+  return 0;
+}

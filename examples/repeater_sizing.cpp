@@ -1,0 +1,88 @@
+// Repeater sizing with the fast model: pick the smallest driver that meets a
+// far-end delay target on a long RLC line.
+//
+// This is the optimization loop that motivates "computationally efficient"
+// driver models: every candidate size needs a delay estimate, and a SPICE
+// run per candidate is far too slow inside a sizing sweep.  The two-ramp
+// flow plus the AWE far-end transfer evaluates each candidate in
+// microseconds; a single transient simulation at the end validates the
+// chosen size.
+#include <cstdio>
+
+#include <optional>
+#include <vector>
+
+#include "charlib/library.h"
+#include "core/experiment.h"
+#include "moments/awe.h"
+#include "tech/wire.h"
+#include "util/units.h"
+
+using namespace rlceff;
+using namespace rlceff::units;
+
+int main() {
+  const tech::Technology technology = tech::Technology::cmos180();
+  const tech::WireModel wires;
+  charlib::CellLibrary library;
+
+  charlib::CharacterizationGrid grid;
+  grid.input_slews = {50 * ps, 100 * ps, 200 * ps};
+  grid.loads = {50 * ff, 200 * ff, 500 * ff, 1 * pf, 2 * pf, 4 * pf};
+
+  // The net: a 6 mm x 2.0 um line to a 10X receiver; 100 ps input slew.
+  const tech::WireParasitics wire = wires.extract({6 * mm, 2.0 * um});
+  const double c_receiver = tech::Inverter{10.0}.input_capacitance(technology);
+  const double input_slew = 100 * ps;
+  const double target = 180 * ps;  // far-end 50 % arrival target
+
+  std::printf("net: 6 mm x 2.0 um (R=%.0f ohm, L=%.1f nH, C=%.2f pF), target %.0f ps\n\n",
+              wire.resistance, wire.inductance / nh, wire.capacitance / pf,
+              target / ps);
+  std::printf("%6s %9s %9s %12s %12s %8s\n", "size", "model", "f", "gate [ps]",
+              "arrival [ps]", "meets?");
+
+  const util::Series h = moments::distributed_transfer(
+      wire.resistance, wire.inductance, wire.capacitance, c_receiver);
+  const moments::AweModel awe = moments::AweModel::make(h, 3);
+
+  std::optional<double> chosen;
+  for (double size : {25.0, 40.0, 60.0, 80.0, 100.0, 125.0}) {
+    const charlib::CharacterizedDriver& driver =
+        library.ensure_driver(technology, size, grid);
+    const core::DriverOutputModel model =
+        core::model_driver_output(driver, input_slew, wire, c_receiver);
+    const wave::Waveform far =
+        awe.response(model.waveform, model.waveform.end_time() + 2 * ns, 2 * ps);
+    const double arrival =
+        far.first_crossing(0.5 * technology.vdd, true).value_or(1e9);
+    const bool meets = arrival <= target;
+    if (meets && !chosen.has_value()) chosen = size;
+    std::printf("%5.0fX %9s %9.2f %12.1f %12.1f %8s\n", size,
+                model.kind == core::ModelKind::two_ramp ? "two-ramp" : "one-ramp",
+                model.f, model.t50 / ps, arrival / ps, meets ? "yes" : "no");
+  }
+
+  if (!chosen.has_value()) {
+    std::printf("\nno candidate meets the %.0f ps target; widen the wire or add a "
+                "repeater stage.\n", target / ps);
+    return 0;
+  }
+  std::printf("\nchosen driver: %.0fX -- validating with a transient simulation...\n",
+              *chosen);
+
+  core::ExperimentCase c;
+  c.driver_size = *chosen;
+  c.input_slew = input_slew;
+  c.wire = wire;
+  c.c_load_far = c_receiver;
+  core::ExperimentOptions opt;
+  opt.grid = grid;
+  const core::ExperimentResult r = core::run_experiment(technology, library, c, opt);
+  std::printf("simulated far-end arrival: %.1f ps (model promised %.1f ps, %+.1f%%); "
+              "target %s\n",
+              r.ref_far.delay / ps, r.model_far.delay / ps,
+              core::pct_error(r.model_far.delay, r.ref_far.delay),
+              r.ref_far.delay <= target ? "met" : "MISSED");
+  return 0;
+}

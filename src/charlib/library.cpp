@@ -1,0 +1,124 @@
+#include "charlib/library.h"
+
+#include <cmath>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace rlceff::charlib {
+
+namespace {
+
+void write_values(std::ostream& out, std::span<const double> values) {
+  out << values.size();
+  for (double v : values) out << ' ' << v;
+  out << '\n';
+}
+
+std::vector<double> read_values(std::istream& in, const char* what) {
+  std::size_t n = 0;
+  ensure(static_cast<bool>(in >> n), std::string("CellLibrary: bad count for ") + what);
+  std::vector<double> v(n);
+  for (double& x : v) {
+    ensure(static_cast<bool>(in >> x), std::string("CellLibrary: bad value in ") + what);
+  }
+  return v;
+}
+
+void expect_token(std::istream& in, const std::string& want) {
+  std::string got;
+  ensure(static_cast<bool>(in >> got) && got == want,
+         "CellLibrary: expected token '" + want + "', got '" + got + "'");
+}
+
+}  // namespace
+
+void CellLibrary::add(CharacterizedDriver driver) {
+  ensure(find(driver.cell().size) == nullptr, "CellLibrary: duplicate driver size");
+  drivers_.push_back(std::move(driver));
+}
+
+const CharacterizedDriver* CellLibrary::find(double cell_size) const {
+  for (const CharacterizedDriver& d : drivers_) {
+    if (std::abs(d.cell().size - cell_size) < 1e-9) return &d;
+  }
+  return nullptr;
+}
+
+const CharacterizedDriver& CellLibrary::ensure_driver(const tech::Technology& technology,
+                                                      double cell_size,
+                                                      const CharacterizationGrid& grid) {
+  if (const CharacterizedDriver* d = find(cell_size)) return *d;
+  drivers_.push_back(characterize_driver(technology, tech::Inverter{cell_size}, grid));
+  return drivers_.back();
+}
+
+void CellLibrary::save(std::ostream& out) const {
+  out << std::setprecision(17);
+  out << "rlceff_cell_library 1\n";
+  out << "cells " << drivers_.size() << '\n';
+  for (const CharacterizedDriver& d : drivers_) {
+    out << "cell " << d.cell().size << ' ' << d.vdd() << '\n';
+    out << "slew_axis ";
+    write_values(out, d.delay_table().row_axis());
+    out << "load_axis ";
+    write_values(out, d.delay_table().col_axis());
+    out << "delay ";
+    write_values(out, d.delay_table().values());
+    out << "transition ";
+    write_values(out, d.transition_table().values());
+    out << "resistance ";
+    write_values(out, d.resistance_table().values());
+  }
+}
+
+void CellLibrary::save_file(const std::string& path) const {
+  std::ofstream out(path);
+  ensure(out.good(), "CellLibrary: cannot open file for writing: " + path);
+  save(out);
+  ensure(out.good(), "CellLibrary: write failed: " + path);
+}
+
+CellLibrary CellLibrary::load(std::istream& in) {
+  expect_token(in, "rlceff_cell_library");
+  int version = 0;
+  ensure(static_cast<bool>(in >> version) && version == 1,
+         "CellLibrary: unsupported version");
+  expect_token(in, "cells");
+  std::size_t count = 0;
+  ensure(static_cast<bool>(in >> count), "CellLibrary: bad cell count");
+
+  CellLibrary lib;
+  for (std::size_t k = 0; k < count; ++k) {
+    expect_token(in, "cell");
+    double size = 0.0;
+    double vdd = 0.0;
+    ensure(static_cast<bool>(in >> size >> vdd), "CellLibrary: bad cell header");
+    expect_token(in, "slew_axis");
+    std::vector<double> slews = read_values(in, "slew_axis");
+    expect_token(in, "load_axis");
+    std::vector<double> loads = read_values(in, "load_axis");
+    expect_token(in, "delay");
+    std::vector<double> delay = read_values(in, "delay");
+    expect_token(in, "transition");
+    std::vector<double> transition = read_values(in, "transition");
+    expect_token(in, "resistance");
+    std::vector<double> resistance = read_values(in, "resistance");
+
+    lib.add(CharacterizedDriver(tech::Inverter{size}, vdd,
+                                Table2D(slews, loads, std::move(delay)),
+                                Table2D(slews, loads, std::move(transition)),
+                                Table2D(slews, loads, std::move(resistance))));
+  }
+  return lib;
+}
+
+CellLibrary CellLibrary::load_file(const std::string& path) {
+  std::ifstream in(path);
+  ensure(in.good(), "CellLibrary: cannot open file: " + path);
+  return load(in);
+}
+
+}  // namespace rlceff::charlib

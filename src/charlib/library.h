@@ -1,0 +1,45 @@
+// Cell library: a collection of characterized drivers with caching and a
+// plain-text serialization (a miniature .lib).
+//
+// Characterizing a driver costs a few dozen transient runs, so experiment
+// harnesses keep one CellLibrary and call ensure_driver(), which
+// characterizes on first use and reuses the tables afterwards.
+#ifndef RLCEFF_CHARLIB_LIBRARY_H
+#define RLCEFF_CHARLIB_LIBRARY_H
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "charlib/characterize.h"
+
+namespace rlceff::charlib {
+
+class CellLibrary {
+public:
+  std::size_t size() const { return drivers_.size(); }
+  const std::vector<CharacterizedDriver>& drivers() const { return drivers_; }
+
+  void add(CharacterizedDriver driver);
+
+  // Finds a characterized driver by drive strength (exact within 1e-9).
+  const CharacterizedDriver* find(double cell_size) const;
+
+  // Returns the driver, characterizing and caching it when missing.
+  const CharacterizedDriver& ensure_driver(
+      const tech::Technology& technology, double cell_size,
+      const CharacterizationGrid& grid = CharacterizationGrid::standard());
+
+  // Plain-text serialization.
+  void save(std::ostream& out) const;
+  void save_file(const std::string& path) const;
+  static CellLibrary load(std::istream& in);
+  static CellLibrary load_file(const std::string& path);
+
+private:
+  std::vector<CharacterizedDriver> drivers_;
+};
+
+}  // namespace rlceff::charlib
+
+#endif  // RLCEFF_CHARLIB_LIBRARY_H

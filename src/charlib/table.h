@@ -1,0 +1,38 @@
+// Two-dimensional lookup table with bilinear interpolation.
+//
+// The same structure a .lib NLDM table uses: values indexed by input slew
+// (rows) and output load capacitance (columns).  Lookups outside the grid
+// extrapolate linearly from the edge cells, matching common STA behaviour.
+#ifndef RLCEFF_CHARLIB_TABLE_H
+#define RLCEFF_CHARLIB_TABLE_H
+
+#include <span>
+#include <vector>
+
+namespace rlceff::charlib {
+
+class Table2D {
+public:
+  Table2D() = default;
+  // rows = slew axis, cols = load axis; values in row-major order.
+  Table2D(std::vector<double> row_axis, std::vector<double> col_axis,
+          std::vector<double> values);
+
+  std::span<const double> row_axis() const { return rows_; }
+  std::span<const double> col_axis() const { return cols_; }
+  std::span<const double> values() const { return vals_; }
+
+  double at(std::size_t r, std::size_t c) const;
+
+  // Bilinear interpolation (linear extrapolation outside the grid).
+  double lookup(double row_value, double col_value) const;
+
+private:
+  std::vector<double> rows_;
+  std::vector<double> cols_;
+  std::vector<double> vals_;
+};
+
+}  // namespace rlceff::charlib
+
+#endif  // RLCEFF_CHARLIB_TABLE_H

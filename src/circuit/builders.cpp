@@ -1,0 +1,54 @@
+#include "circuit/builders.h"
+
+#include "util/error.h"
+
+namespace rlceff::ckt {
+
+LadderNodes append_rlc_ladder(Netlist& netlist, NodeId from, double r_total,
+                              double l_total, double c_total, std::size_t segments) {
+  ensure(segments > 0, "append_rlc_ladder: need at least one segment");
+  ensure(r_total > 0.0 && l_total >= 0.0 && c_total > 0.0,
+         "append_rlc_ladder: non-physical parasitics");
+
+  const double n = static_cast<double>(segments);
+  const double r_seg = r_total / n;
+  const double l_seg = l_total / n;
+  const double c_seg = c_total / n;
+
+  LadderNodes out;
+  out.near_end = from;
+  netlist.add_capacitor(from, ground, 0.5 * c_seg);
+
+  NodeId prev = from;
+  for (std::size_t k = 0; k < segments; ++k) {
+    NodeId next = netlist.add_node();
+    if (l_seg > 0.0) {
+      // Series R then L within the segment needs one more internal node.
+      const NodeId mid = netlist.add_node();
+      netlist.add_resistor(prev, mid, r_seg);
+      netlist.add_inductor(mid, next, l_seg);
+      out.internal.push_back(mid);
+    } else {
+      netlist.add_resistor(prev, next, r_seg);
+    }
+    // Interior nodes receive C/N (half from each adjacent segment); the far
+    // end receives the final half-segment below.
+    const double shunt = (k + 1 == segments) ? 0.5 * c_seg : c_seg;
+    netlist.add_capacitor(next, ground, shunt);
+    if (k + 1 < segments) out.internal.push_back(next);
+    prev = next;
+  }
+  out.far_end = prev;
+  return out;
+}
+
+NodeId append_pi_load(Netlist& netlist, NodeId from, double c_near, double r,
+                      double c_far) {
+  netlist.add_capacitor(from, ground, c_near);
+  const NodeId far = netlist.add_node();
+  netlist.add_resistor(from, far, r);
+  netlist.add_capacitor(far, ground, c_far);
+  return far;
+}
+
+}  // namespace rlceff::ckt

@@ -1,0 +1,38 @@
+// Deck-building helpers for the interconnect structures used throughout the
+// reproduction: uniform RLC transmission-line ladders (the "HSPICE" view of a
+// wire) and lumped pi loads.
+#ifndef RLCEFF_CIRCUIT_BUILDERS_H
+#define RLCEFF_CIRCUIT_BUILDERS_H
+
+#include <cstddef>
+#include <vector>
+
+#include "circuit/netlist.h"
+
+namespace rlceff::ckt {
+
+struct LadderNodes {
+  NodeId near_end = ground;
+  NodeId far_end = ground;
+  std::vector<NodeId> internal;  // intermediate nodes, near to far
+};
+
+// Appends an N-segment lumped approximation of a uniform RLC line with total
+// series resistance/inductance (r_total, l_total) and total shunt capacitance
+// c_total between `from` and a new far-end node.
+//
+// Segments are pi-sections: each contributes series (R/N, L/N) with C/(2N)
+// shunt at both of its ends, so interior nodes carry C/N and the two end
+// nodes C/(2N).  Pi-sections converge to the distributed line's driving-point
+// admittance from the capacitive side, which is the polarity the effective
+// capacitance theory expects.
+LadderNodes append_rlc_ladder(Netlist& netlist, NodeId from, double r_total,
+                              double l_total, double c_total, std::size_t segments);
+
+// Appends an RC pi load (c_near at `from`, series r, c_far at a new node).
+NodeId append_pi_load(Netlist& netlist, NodeId from, double c_near, double r,
+                      double c_far);
+
+}  // namespace rlceff::ckt
+
+#endif  // RLCEFF_CIRCUIT_BUILDERS_H

@@ -1,0 +1,74 @@
+#include "circuit/mna.h"
+
+#include "util/error.h"
+
+namespace rlceff::ckt {
+
+MnaStructure::MnaStructure(const Netlist& netlist) {
+  const std::size_t n_nodes = netlist.node_count();
+  const std::size_t n_v = netlist.vsources().size();
+  const std::size_t n_l = netlist.inductors().size();
+  unknown_count_ = (n_nodes - 1) + n_v + n_l;
+  ensure(unknown_count_ > 0, "MnaStructure: circuit has no unknowns");
+
+  // Natural (pre-permutation) indices.
+  auto natural_node = [](NodeId n) { return static_cast<std::size_t>(n - 1); };
+  const std::size_t v_base = n_nodes - 1;
+  const std::size_t l_base = v_base + n_v;
+
+  // Coupling graph of the Jacobian: every device couples all its unknowns.
+  util::SparsityGraph graph(unknown_count_);
+  auto couple_nodes = [&](NodeId a, NodeId b) {
+    if (a != ground && b != ground) graph.add_edge(natural_node(a), natural_node(b));
+  };
+  auto couple_node_branch = [&](NodeId a, std::size_t branch) {
+    if (a != ground) graph.add_edge(natural_node(a), branch);
+  };
+
+  for (const Resistor& r : netlist.resistors()) couple_nodes(r.a, r.b);
+  for (const Capacitor& c : netlist.capacitors()) couple_nodes(c.a, c.b);
+  for (std::size_t k = 0; k < netlist.inductors().size(); ++k) {
+    const Inductor& l = netlist.inductors()[k];
+    couple_node_branch(l.a, l_base + k);
+    couple_node_branch(l.b, l_base + k);
+    couple_nodes(l.a, l.b);
+  }
+  for (std::size_t k = 0; k < netlist.vsources().size(); ++k) {
+    const VSource& v = netlist.vsources()[k];
+    couple_node_branch(v.pos, v_base + k);
+    couple_node_branch(v.neg, v_base + k);
+  }
+  for (const Mosfet& m : netlist.mosfets()) {
+    couple_nodes(m.drain, m.source);
+    couple_nodes(m.drain, m.gate);
+    couple_nodes(m.source, m.gate);
+  }
+
+  const std::vector<std::size_t> perm = util::reverse_cuthill_mckee(graph);
+  bandwidth_ = util::bandwidth(graph, perm);
+
+  node_to_index_.assign(n_nodes, 0);
+  for (NodeId n = 1; n < n_nodes; ++n) node_to_index_[n] = perm[natural_node(n)];
+  vsource_to_index_.resize(n_v);
+  for (std::size_t k = 0; k < n_v; ++k) vsource_to_index_[k] = perm[v_base + k];
+  inductor_to_index_.resize(n_l);
+  for (std::size_t k = 0; k < n_l; ++k) inductor_to_index_[k] = perm[l_base + k];
+}
+
+std::size_t MnaStructure::node_index(NodeId n) const {
+  ensure(n != ground, "MnaStructure: ground has no unknown");
+  ensure(n < node_to_index_.size(), "MnaStructure: node out of range");
+  return node_to_index_[n];
+}
+
+std::size_t MnaStructure::vsource_index(std::size_t k) const {
+  ensure(k < vsource_to_index_.size(), "MnaStructure: vsource out of range");
+  return vsource_to_index_[k];
+}
+
+std::size_t MnaStructure::inductor_index(std::size_t k) const {
+  ensure(k < inductor_to_index_.size(), "MnaStructure: inductor out of range");
+  return inductor_to_index_[k];
+}
+
+}  // namespace rlceff::ckt

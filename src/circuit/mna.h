@@ -1,0 +1,43 @@
+// Modified nodal analysis structure.
+//
+// Maps a Netlist onto an unknown vector [node voltages (ground excluded),
+// voltage-source branch currents, inductor branch currents], computes the
+// coupling (sparsity) graph of the MNA Jacobian, and derives a reverse
+// Cuthill-McKee permutation so discretized lines factor as narrow bands.
+#ifndef RLCEFF_CIRCUIT_MNA_H
+#define RLCEFF_CIRCUIT_MNA_H
+
+#include <cstddef>
+#include <vector>
+
+#include "circuit/netlist.h"
+#include "util/ordering.h"
+
+namespace rlceff::ckt {
+
+class MnaStructure {
+public:
+  explicit MnaStructure(const Netlist& netlist);
+
+  std::size_t unknown_count() const { return unknown_count_; }
+  std::size_t bandwidth() const { return bandwidth_; }
+
+  // Unknown index of a node voltage; node must not be ground.
+  std::size_t node_index(NodeId n) const;
+  // True when the node has an unknown (i.e. is not ground).
+  static bool has_unknown(NodeId n) { return n != ground; }
+
+  std::size_t vsource_index(std::size_t k) const;
+  std::size_t inductor_index(std::size_t k) const;
+
+private:
+  std::size_t unknown_count_ = 0;
+  std::size_t bandwidth_ = 0;
+  std::vector<std::size_t> node_to_index_;      // [node] -> permuted unknown
+  std::vector<std::size_t> vsource_to_index_;   // [vsource k] -> permuted unknown
+  std::vector<std::size_t> inductor_to_index_;  // [inductor k] -> permuted unknown
+};
+
+}  // namespace rlceff::ckt
+
+#endif  // RLCEFF_CIRCUIT_MNA_H

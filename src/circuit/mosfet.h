@@ -1,0 +1,43 @@
+// Alpha-power-law MOSFET model (Sakurai-Newton).
+//
+// The simulator needs a driver model that reproduces the regime the paper
+// studies: deep-submicron inverters whose output resistance is comparable to
+// the line's characteristic impedance, with velocity-saturated drain current
+// Id ~ (Vgs - Vth)^alpha.  The alpha-power law captures exactly that with a
+// handful of parameters and analytic derivatives for Newton-Raphson.
+//
+// Conventions: eval() returns the drain-to-source channel current of an
+// N-type device and its derivatives.  Negative Vds is handled by the
+// source/drain symmetry swap; P-type devices are evaluated by polarity
+// reversal.  Current is proportional to drawn gate width.
+#ifndef RLCEFF_CIRCUIT_MOSFET_H
+#define RLCEFF_CIRCUIT_MOSFET_H
+
+namespace rlceff::ckt {
+
+struct MosfetParams {
+  double vth = 0.45;        // threshold voltage [V]
+  double alpha = 1.3;       // velocity-saturation index (1 = fully saturated, 2 = long channel)
+  double k_sat = 0.4e3;     // saturation transconductance [A / (m * V^alpha)]
+  double kv = 0.8;          // Vdsat = kv * (Vgs - Vth)^(alpha/2) [V^(1-alpha/2)]
+  double lambda = 0.05;     // channel-length modulation [1/V]
+};
+
+struct MosfetEval {
+  double id = 0.0;    // channel current, drain -> source [A]
+  double gm = 0.0;    // d id / d vgs [S]
+  double gds = 0.0;   // d id / d vds [S]
+};
+
+// N-type evaluation for arbitrary vds (symmetry swap applied internally).
+MosfetEval eval_nmos(const MosfetParams& p, double width, double vgs, double vds);
+
+// P-type evaluation: params hold |Vth| etc.; voltages are the physical
+// vgs = Vg - Vs and vds = Vd - Vs of the P device (both normally negative
+// when conducting).  Returned id is the physical drain->source current
+// (normally negative: current flows source -> drain).
+MosfetEval eval_pmos(const MosfetParams& p, double width, double vgs, double vds);
+
+}  // namespace rlceff::ckt
+
+#endif  // RLCEFF_CIRCUIT_MOSFET_H

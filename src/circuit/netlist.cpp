@@ -1,0 +1,67 @@
+#include "circuit/netlist.h"
+
+#include "util/error.h"
+
+namespace rlceff::ckt {
+
+Netlist::Netlist() {
+  names_["0"] = ground;
+  names_["gnd"] = ground;
+}
+
+NodeId Netlist::node(const std::string& name) {
+  const auto it = names_.find(name);
+  if (it != names_.end()) return it->second;
+  const NodeId id = node_count_++;
+  names_.emplace(name, id);
+  return id;
+}
+
+NodeId Netlist::add_node() { return node_count_++; }
+
+NodeId Netlist::check(NodeId n) const {
+  ensure(n < node_count_, "Netlist: node id out of range");
+  return n;
+}
+
+void Netlist::add_resistor(NodeId a, NodeId b, double resistance) {
+  ensure(resistance > 0.0, "Netlist: resistance must be positive");
+  resistors_.push_back({check(a), check(b), resistance});
+}
+
+void Netlist::add_capacitor(NodeId a, NodeId b, double capacitance) {
+  ensure(capacitance >= 0.0, "Netlist: capacitance must be non-negative");
+  if (capacitance == 0.0) return;
+  capacitors_.push_back({check(a), check(b), capacitance});
+}
+
+void Netlist::add_inductor(NodeId a, NodeId b, double inductance) {
+  ensure(inductance > 0.0, "Netlist: inductance must be positive");
+  inductors_.push_back({check(a), check(b), inductance});
+}
+
+std::size_t Netlist::add_vsource(NodeId pos, NodeId neg, wave::Pwl voltage) {
+  ensure(!voltage.empty(), "Netlist: voltage source needs a waveform");
+  vsources_.push_back({check(pos), check(neg), std::move(voltage)});
+  return vsources_.size() - 1;
+}
+
+void Netlist::add_mosfet(NodeId drain, NodeId gate, NodeId source,
+                         const MosfetParams& params, double width, bool is_pmos) {
+  ensure(width > 0.0, "Netlist: MOSFET width must be positive");
+  mosfets_.push_back({check(drain), check(gate), check(source), params, width, is_pmos});
+}
+
+void Netlist::set_vsource_waveform(std::size_t index, wave::Pwl voltage) {
+  ensure(index < vsources_.size(), "Netlist: vsource index out of range");
+  ensure(!voltage.empty(), "Netlist: voltage source needs a waveform");
+  vsources_[index].voltage = std::move(voltage);
+}
+
+double Netlist::total_capacitance() const {
+  double total = 0.0;
+  for (const Capacitor& c : capacitors_) total += c.capacitance;
+  return total;
+}
+
+}  // namespace rlceff::ckt

@@ -1,0 +1,23 @@
+// Voltage breakpoint (Eq 1 of the paper).
+//
+// At the driving point a transmission line initially looks like its
+// characteristic impedance, so the driver and line form a voltage divider:
+// the first ramp tops out at f * Vdd with f = Z0 / (Z0 + Rs).  The first
+// ramp of the two-ramp model ends at this fraction; the second ramp carries
+// the transition from f * Vdd to Vdd after the far-end reflection returns.
+#ifndef RLCEFF_CORE_BREAKPOINT_H
+#define RLCEFF_CORE_BREAKPOINT_H
+
+#include "util/error.h"
+
+namespace rlceff::core {
+
+// f = Z0 / (Z0 + Rs); always in (0, 1) for positive arguments.
+inline double breakpoint_fraction(double z0, double rs) {
+  ensure(z0 > 0.0 && rs > 0.0, "breakpoint_fraction: impedances must be positive");
+  return z0 / (z0 + rs);
+}
+
+}  // namespace rlceff::core
+
+#endif  // RLCEFF_CORE_BREAKPOINT_H

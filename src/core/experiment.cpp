@@ -1,0 +1,97 @@
+#include "core/experiment.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+#include "util/stats.h"
+
+namespace rlceff::core {
+
+namespace {
+
+EdgeMetrics measure(const wave::Waveform& w, double vdd, double t_reference) {
+  const wave::EdgeTiming e = wave::measure_rising_edge(w, 0.0, vdd);
+  return {e.t50 - t_reference, e.transition_10_90()};
+}
+
+// Sizes the horizon so even the slowest (weak driver, long line) case fully
+// completes its 90 % crossing with margin.
+double auto_t_stop(const ExperimentCase& c, const tech::DeckOptions& deck) {
+  const double rs_estimate = 3.7e3 / c.driver_size;
+  const double c_total = c.wire.capacitance + c.c_load_far;
+  const double settle = 6.0 * (rs_estimate + c.wire.resistance) * c_total +
+                        4.0 * c.wire.time_of_flight();
+  return deck.t_start + c.input_slew + std::max(1e-9, settle);
+}
+
+}  // namespace
+
+double pct_error(double model, double reference) {
+  return 100.0 * util::relative_error(model, reference);
+}
+
+ExperimentResult run_experiment(const tech::Technology& technology,
+                                charlib::CellLibrary& library,
+                                const ExperimentCase& scenario,
+                                const ExperimentOptions& options) {
+  ExperimentResult out;
+  out.scenario = scenario;
+
+  tech::DeckOptions deck = options.deck;
+  deck.t_stop = auto_t_stop(scenario, options.deck);
+
+  // Reference ("HSPICE") run.
+  const tech::Inverter cell{scenario.driver_size};
+  tech::LineSimResult ref = tech::simulate_driver_line(
+      technology, cell, scenario.input_slew, scenario.wire, deck);
+  out.input_time_50 = ref.input_time_50;
+  out.ref_near = measure(ref.near_end, technology.vdd, ref.input_time_50);
+  out.ref_far = measure(ref.far_end, technology.vdd, ref.input_time_50);
+
+  // Library model (the paper's flow).
+  const charlib::CharacterizedDriver& driver =
+      library.ensure_driver(technology, scenario.driver_size, options.grid);
+  out.model = model_driver_output(driver, scenario.input_slew, scenario.wire,
+                                  scenario.c_load_far, options.model);
+  {
+    const wave::Waveform w = out.model.waveform.to_waveform(
+        out.model.waveform.end_time() + deck.t_stop);
+    out.model_near = measure(w, technology.vdd, 0.0);
+  }
+
+  if (options.include_far_end) {
+    // Replay the modeled waveform through the line in absolute deck time.
+    std::vector<std::pair<double, double>> pts = out.model.waveform.points();
+    for (auto& [t, v] : pts) t += ref.input_time_50;
+    // The source must start at 0 V from t = 0 for the DC operating point.
+    if (pts.front().first > 0.0 && pts.front().second == 0.0) {
+      // anchored waveforms always begin at 0 V; nothing to do
+    }
+    const wave::Pwl absolute(std::move(pts));
+    tech::LineSimResult replay = tech::simulate_source_line(absolute, scenario.wire, deck);
+    out.model_far = measure(replay.far_end, technology.vdd, ref.input_time_50);
+    if (options.keep_waveforms) out.model_far_wave = replay.far_end;
+  }
+
+  if (options.include_one_ramp) {
+    DriverModelOptions one = options.model;
+    one.selection = ModelSelection::force_one_ramp;
+    // The paper's Table-1/Fig-7 baseline is a *pure* single ramp; keep the
+    // ref-[11] tail out of the comparison column.
+    one.shielding_tail = false;
+    out.one_ramp = model_driver_output(driver, scenario.input_slew, scenario.wire,
+                                       scenario.c_load_far, one);
+    const wave::Waveform w = out.one_ramp.waveform.to_waveform(
+        out.one_ramp.waveform.end_time() + deck.t_stop);
+    out.one_near = measure(w, technology.vdd, 0.0);
+  }
+
+  if (options.keep_waveforms) {
+    out.ref_near_wave = ref.near_end;
+    out.ref_far_wave = ref.far_end;
+  }
+  return out;
+}
+
+}  // namespace rlceff::core

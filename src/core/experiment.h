@@ -1,0 +1,73 @@
+// Shared experiment harness: one paper test case = one driver + line
+// configuration, simulated ("HSPICE" column) and modeled (two-ramp and
+// one-ramp columns), with uniformly measured delay/slew.
+//
+// All delays are 50 %-to-50 % from the input edge; slew is the raw 10-90 %
+// transition at the probe.  The same measurement code runs on simulated and
+// modeled waveforms, so model-vs-reference errors are apples to apples.
+#ifndef RLCEFF_CORE_EXPERIMENT_H
+#define RLCEFF_CORE_EXPERIMENT_H
+
+#include <string>
+
+#include "charlib/library.h"
+#include "core/driver_model.h"
+#include "tech/testbench.h"
+
+namespace rlceff::core {
+
+struct ExperimentCase {
+  std::string label;
+  double driver_size = 75.0;
+  double input_slew = 100e-12;
+  tech::WireParasitics wire;
+  double c_load_far = 20e-15;
+};
+
+struct EdgeMetrics {
+  double delay = 0.0;  // input 50 % -> probe 50 % [s]
+  double slew = 0.0;   // probe 10 % -> 90 % [s]
+};
+
+struct ExperimentOptions {
+  tech::DeckOptions deck;          // simulator fidelity (t_stop auto-sized)
+  DriverModelOptions model;        // paper flow controls
+  bool include_one_ramp = true;    // also run the 1-ramp baseline
+  bool include_far_end = true;     // replay the model at the far end
+  bool keep_waveforms = false;     // retain sampled waveforms (figure benches)
+  // Grid used when a driver has to be characterized (tests shrink this).
+  charlib::CharacterizationGrid grid = charlib::CharacterizationGrid::standard();
+};
+
+struct ExperimentResult {
+  ExperimentCase scenario;
+
+  EdgeMetrics ref_near;   // simulated driver output
+  EdgeMetrics ref_far;    // simulated far end
+  EdgeMetrics model_near; // measured on the modeled PWL
+  EdgeMetrics model_far;  // modeled PWL replayed through the line
+  EdgeMetrics one_near;   // one-ramp baseline at the driver output
+
+  DriverOutputModel model;
+  DriverOutputModel one_ramp;
+
+  // Populated when keep_waveforms is set; times are absolute deck time.
+  wave::Waveform ref_near_wave;
+  wave::Waveform ref_far_wave;
+  wave::Waveform model_far_wave;
+  double input_time_50 = 0.0;
+};
+
+// Runs the reference simulation and both models for one case.  The library
+// caches driver characterizations across calls.
+ExperimentResult run_experiment(const tech::Technology& technology,
+                                charlib::CellLibrary& library,
+                                const ExperimentCase& scenario,
+                                const ExperimentOptions& options = {});
+
+// Relative error helper used in the paper's tables: (model - ref) / ref.
+double pct_error(double model, double reference);
+
+}  // namespace rlceff::core
+
+#endif  // RLCEFF_CORE_EXPERIMENT_H

@@ -1,0 +1,117 @@
+#include "moments/admittance.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace rlceff::moments {
+
+using util::Series;
+
+namespace {
+
+// Transforms a load admittance through a series impedance z = r + s*l:
+// Y' = Y / (1 + z Y).
+Series through_series_impedance(const Series& y, double r, double l) {
+  const std::size_t n = y.size();
+  const Series z({r, l}, n);  // r + l*s
+  return y / (Series::constant(1.0, n) + z * y);
+}
+
+}  // namespace
+
+Series ladder_admittance(double r_total, double l_total, double c_total, double c_far,
+                         std::size_t segments, std::size_t order) {
+  ensure(segments > 0, "ladder_admittance: need at least one segment");
+  ensure(order >= 2, "ladder_admittance: order too small");
+  const double n = static_cast<double>(segments);
+  const double r_seg = r_total / n;
+  const double l_seg = l_total / n;
+  const double c_seg = c_total / n;
+
+  // Far-end node: half segment cap plus the external load.
+  Series y({0.0, c_far + 0.5 * c_seg}, order);  // (c_far + c/2N) * s
+  for (std::size_t k = 0; k < segments; ++k) {
+    y = through_series_impedance(y, r_seg, l_seg);
+    const double shunt = (k + 1 == segments) ? 0.5 * c_seg : c_seg;
+    y += Series({0.0, shunt}, order);
+  }
+  return y;
+}
+
+Series distributed_line_admittance(double r_total, double l_total, double c_total,
+                                   double c_far, std::size_t order) {
+  ensure(order >= 2, "distributed_line_admittance: order too small");
+  ensure(c_total > 0.0, "distributed_line_admittance: need line capacitance");
+
+  // u = x^2 = s * C * (R + s L); every factor below is analytic in s:
+  //   cosh(x)      = sum u^k / (2k)!
+  //   Y0 sinh(x)   = s C * sinhc(u),  sinhc(u) = sum u^k / (2k+1)!
+  //   Z0 sinh(x)   = (R + s L) * sinhc(u)
+  const Series u({0.0, c_total * r_total, c_total * l_total}, order);
+
+  std::vector<double> cosh_coeffs(order, 0.0);
+  std::vector<double> sinhc_coeffs(order, 0.0);
+  double fact = 1.0;  // (2k)! running value
+  for (std::size_t k = 0; k < order; ++k) {
+    if (k > 0) fact *= static_cast<double>(2 * k - 1) * static_cast<double>(2 * k);
+    cosh_coeffs[k] = 1.0 / fact;
+    sinhc_coeffs[k] = 1.0 / (fact * static_cast<double>(2 * k + 1));
+  }
+  const Series cosh_x = Series::compose(cosh_coeffs, u);
+  const Series sinhc_u = Series::compose(sinhc_coeffs, u);
+
+  const Series s_c({0.0, c_total}, order);        // s * C
+  const Series r_plus_sl({r_total, l_total}, order);
+  const Series y0_sinh = s_c * sinhc_u;
+  const Series z0_sinh = r_plus_sl * sinhc_u;
+  const Series y_load({0.0, c_far}, order);       // s * c_far
+
+  return (y0_sinh + cosh_x * y_load) / (cosh_x + z0_sinh * y_load);
+}
+
+Series tree_admittance(const RlcBranch& root, std::size_t order) {
+  ensure(order >= 2, "tree_admittance: order too small");
+  Series y({0.0, root.capacitance}, order);
+  for (const RlcBranch& child : root.children) y += tree_admittance(child, order);
+  return through_series_impedance(y, root.resistance, root.inductance);
+}
+
+namespace {
+
+struct PathAccumulator {
+  double r = 0.0;
+  double l = 0.0;
+  double c = 0.0;
+};
+
+void walk_paths(const RlcBranch& branch, PathAccumulator path, TreePathMetrics& out) {
+  path.r += branch.resistance;
+  path.l += branch.inductance;
+  path.c += branch.capacitance;
+  out.total_capacitance += branch.capacitance;
+  if (branch.children.empty()) {
+    if (path.l <= 0.0 || path.c <= 0.0) return;
+    const double tf = std::sqrt(path.l * path.c);
+    if (tf > out.time_of_flight) {
+      out.time_of_flight = tf;
+      out.z0 = std::sqrt(path.l / path.c);
+      out.path_resistance = path.r;
+    }
+    return;
+  }
+  for (const RlcBranch& child : branch.children) walk_paths(child, path, out);
+}
+
+}  // namespace
+
+TreePathMetrics tree_metrics(const RlcBranch& root) {
+  TreePathMetrics out;
+  walk_paths(root, {}, out);
+  ensure(out.total_capacitance > 0.0, "tree_metrics: tree has no capacitance");
+  ensure(out.time_of_flight > 0.0,
+         "tree_metrics: no root-to-leaf path with both L and C");
+  return out;
+}
+
+}  // namespace rlceff::moments

@@ -1,0 +1,65 @@
+// Driving-point admittance moments of RLC loads.
+//
+// The k-th moment of Y(s) is the k-th coefficient of its Taylor expansion
+// about s = 0.  For loads with no DC path to ground, Y(s) = m1 s + m2 s^2 +
+// ..., and m1 equals the total capacitance.  Three load descriptions are
+// supported:
+//   * discretized ladders mirroring ckt::append_rlc_ladder exactly,
+//   * general RLC trees (for nets with branches),
+//   * the exact distributed (Telegrapher's) uniform line via the analytic
+//     expansion of its ABCD parameters — the ladder moments converge to
+//     these as the segment count grows (validated in tests).
+#ifndef RLCEFF_MOMENTS_ADMITTANCE_H
+#define RLCEFF_MOMENTS_ADMITTANCE_H
+
+#include <cstddef>
+#include <vector>
+
+#include "util/series.h"
+
+namespace rlceff::moments {
+
+inline constexpr std::size_t default_order = 8;
+
+// Admittance series of an N-segment pi-section ladder (same topology as
+// ckt::append_rlc_ladder) with far-end load c_far.
+util::Series ladder_admittance(double r_total, double l_total, double c_total,
+                               double c_far, std::size_t segments,
+                               std::size_t order = default_order);
+
+// Admittance series of the exact distributed uniform RLC line with far-end
+// load c_far:  Y_in = (Y0 sinh(x) + cosh(x) Y_L) / (cosh(x) + Z0 sinh(x) Y_L)
+// expanded via u = x^2 = s * C * (R + s L).
+util::Series distributed_line_admittance(double r_total, double l_total,
+                                         double c_total, double c_far,
+                                         std::size_t order = default_order);
+
+// An RLC tree branch: series (r, l) from the parent, shunt c at the far end
+// of the branch, then children hanging off that node.
+struct RlcBranch {
+  double resistance = 0.0;
+  double inductance = 0.0;
+  double capacitance = 0.0;
+  std::vector<RlcBranch> children;
+};
+
+// Admittance series looking into `root` (its series impedance included).
+util::Series tree_admittance(const RlcBranch& root, std::size_t order = default_order);
+
+// Transmission-line view of a tree used by the two-ramp flow: the dominant
+// root-to-leaf path (the one with the largest flight time) supplies the
+// characteristic impedance, time of flight, and loss resistance that Eq 1,
+// Eq 8 and Eq 9 need.  For a chain describing a uniform line these reduce to
+// the uniform-line values.
+struct TreePathMetrics {
+  double z0 = 0.0;                // sqrt(L_path / C_path) of the dominant path
+  double time_of_flight = 0.0;    // max over paths of sqrt(L_path * C_path)
+  double path_resistance = 0.0;   // series R along the dominant path
+  double total_capacitance = 0.0; // every capacitor in the tree
+};
+
+TreePathMetrics tree_metrics(const RlcBranch& root);
+
+}  // namespace rlceff::moments
+
+#endif  // RLCEFF_MOMENTS_ADMITTANCE_H

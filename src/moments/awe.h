@@ -1,0 +1,62 @@
+// Asymptotic waveform evaluation (ref [10]) for far-end responses.
+//
+// The voltage transfer H(s) = V_far / V_near of a line driven by an ideal
+// source is expanded in moments (transfer_* functions) and reduced to a
+// q-pole Pade model.  The reduced model evaluates the far-end response to
+// any piecewise-linear near-end waveform in closed form — the fast
+// alternative to replaying the modeled driver waveform through the
+// transient simulator.  RLC lines driven by stiff sources have poles close
+// to the imaginary axis, so make() walks the order down until the model is
+// stable and callers can fall back to simulation if even q = 1 fails.
+#ifndef RLCEFF_MOMENTS_AWE_H
+#define RLCEFF_MOMENTS_AWE_H
+
+#include <cstddef>
+#include <vector>
+
+#include "moments/admittance.h"
+#include "util/poly.h"
+#include "util/series.h"
+#include "waveform/pwl.h"
+#include "waveform/waveform.h"
+
+namespace rlceff::moments {
+
+// Moments of V_far / V_near for the discretized ladder (matches
+// ckt::append_rlc_ladder) and for the exact distributed line.
+util::Series ladder_transfer(double r_total, double l_total, double c_total,
+                             double c_far, std::size_t segments,
+                             std::size_t order = default_order);
+util::Series distributed_transfer(double r_total, double l_total, double c_total,
+                                  double c_far, std::size_t order = default_order);
+
+class AweModel {
+public:
+  // Reduces a transfer-moment series to at most max_poles poles, walking the
+  // order down until all poles are strictly stable.  Throws ConvergenceError
+  // when even a single-pole model is unstable.
+  static AweModel make(const util::Series& transfer, std::size_t max_poles = 3);
+
+  std::size_t pole_count() const { return poles_.size(); }
+  const std::vector<util::Complex>& poles() const { return poles_; }
+  const std::vector<util::Complex>& residues() const { return residues_; }
+  double dc_gain() const { return dc_gain_; }
+
+  // Response of the reduced system to a unit ramp starting at t = 0 with
+  // slope 1 (the building block for any PWL input).
+  double unit_ramp_response(double t) const;
+
+  // Response to a piecewise-linear input, sampled on [0, t_end] with step dt.
+  wave::Waveform response(const wave::Pwl& input, double t_end, double dt) const;
+
+private:
+  AweModel() = default;
+
+  std::vector<util::Complex> poles_;
+  std::vector<util::Complex> residues_;
+  double dc_gain_ = 0.0;
+};
+
+}  // namespace rlceff::moments
+
+#endif  // RLCEFF_MOMENTS_AWE_H

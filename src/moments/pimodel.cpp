@@ -1,0 +1,28 @@
+#include "moments/pimodel.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace rlceff::moments {
+
+PiModel synthesize_pi(const util::Series& admittance) {
+  ensure(admittance.size() >= 4, "synthesize_pi: need moments m1..m3");
+  const double m1 = admittance[1];
+  const double m2 = admittance[2];
+  const double m3 = admittance[3];
+  ensure(m1 > 0.0, "synthesize_pi: total capacitance must be positive");
+
+  PiModel pi;
+  if (m2 == 0.0 || m3 == 0.0) {
+    // Pure capacitive load.
+    pi.c_near = m1;
+    return pi;
+  }
+  pi.c_far = m2 * m2 / m3;
+  pi.resistance = -m3 * m3 / (m2 * m2 * m2);
+  pi.c_near = m1 - pi.c_far;
+  return pi;
+}
+
+}  // namespace rlceff::moments

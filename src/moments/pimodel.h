@@ -1,0 +1,33 @@
+// O'Brien-Savarino pi model (ref [9]) — the classical RC reduction the paper
+// contrasts against.
+//
+// Matching the first three admittance moments of an RC load to
+//   Y(s) = s C_near + s C_far / (1 + s R C_far)
+// gives C_far = m2^2 / m3, R = -m3^2 / m2^3, C_near = m1 - C_far.  With
+// inductance present the synthesis can fail (negative elements) — the
+// observation, due to Kashyap and Krauter (ref [6]), that motivates working
+// with the admittance moments directly as this library's core does.
+#ifndef RLCEFF_MOMENTS_PIMODEL_H
+#define RLCEFF_MOMENTS_PIMODEL_H
+
+#include "util/series.h"
+
+namespace rlceff::moments {
+
+struct PiModel {
+  double c_near = 0.0;  // capacitance at the driving point [F]
+  double resistance = 0.0;
+  double c_far = 0.0;
+
+  // True when all three elements are non-negative (synthesizable).
+  bool realizable() const { return c_near >= 0.0 && resistance >= 0.0 && c_far >= 0.0; }
+};
+
+// Synthesizes the pi model from the first three moments of an admittance
+// series.  Always returns the matched element values; callers must check
+// realizable() — RLC loads routinely produce a negative c_near.
+PiModel synthesize_pi(const util::Series& admittance);
+
+}  // namespace rlceff::moments
+
+#endif  // RLCEFF_MOMENTS_PIMODEL_H

@@ -1,0 +1,348 @@
+#include "sim/transient.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "circuit/mna.h"
+#include "util/error.h"
+#include "util/linalg.h"
+
+namespace rlceff::sim {
+
+namespace {
+
+using ckt::ground;
+using ckt::MnaStructure;
+using ckt::Netlist;
+using ckt::NodeId;
+
+// Uniform interface over the banded and dense factorizations.
+class LinearSolver {
+public:
+  virtual ~LinearSolver() = default;
+  virtual void clear() = 0;
+  virtual void add(std::size_t r, std::size_t c, double v) = 0;
+  virtual std::vector<double> solve(std::span<const double> rhs) = 0;
+};
+
+class BandedSolver final : public LinearSolver {
+public:
+  BandedSolver(std::size_t n, std::size_t bw) : n_(n), bw_(bw), a_(n, bw, bw) {}
+  void clear() override { a_.set_zero(); }
+  void add(std::size_t r, std::size_t c, double v) override { a_.add(r, c, v); }
+  std::vector<double> solve(std::span<const double> rhs) override {
+    util::BandedMatrix work = a_;
+    work.factor();
+    return work.solve(rhs);
+  }
+
+private:
+  std::size_t n_;
+  std::size_t bw_;
+  util::BandedMatrix a_;
+};
+
+class DenseSolver final : public LinearSolver {
+public:
+  explicit DenseSolver(std::size_t n) : a_(n, n) {}
+  void clear() override { a_.set_zero(); }
+  void add(std::size_t r, std::size_t c, double v) override { a_(r, c) += v; }
+  std::vector<double> solve(std::span<const double> rhs) override {
+    return util::solve_dense(a_, rhs);
+  }
+
+private:
+  util::DenseMatrix a_;
+};
+
+std::unique_ptr<LinearSolver> make_solver(std::size_t n, std::size_t bw) {
+  if (bw <= std::max<std::size_t>(8, n / 4)) return std::make_unique<BandedSolver>(n, bw);
+  return std::make_unique<DenseSolver>(n);
+}
+
+// Dynamic state carried between time steps.
+struct CapacitorState {
+  double v = 0.0;  // voltage across the device at the last accepted step
+  double i = 0.0;  // current through the device at the last accepted step
+};
+
+struct InductorState {
+  double i = 0.0;  // branch current at the last accepted step
+  double v = 0.0;  // branch voltage at the last accepted step
+};
+
+struct DynamicState {
+  std::vector<CapacitorState> caps;
+  std::vector<InductorState> inds;
+};
+
+class Engine {
+public:
+  Engine(const Netlist& netlist, const TransientOptions& options)
+      : nl_(netlist),
+        opt_(options),
+        structure_(netlist),
+        m_(structure_.unknown_count()),
+        solver_(make_solver(m_, structure_.bandwidth())),
+        rhs_(m_, 0.0) {}
+
+  const MnaStructure& structure() const { return structure_; }
+
+  double voltage(std::span<const double> x, NodeId n) const {
+    return n == ground ? 0.0 : x[structure_.node_index(n)];
+  }
+
+  // Solves one (DC or companion-model) nonlinear system at time `t` with
+  // step `h` (h <= 0 selects DC: capacitors open, inductors shorted).
+  std::vector<double> newton(double t, double h, const DynamicState& state,
+                             std::vector<double> x, double gmin) {
+    const bool linear = nl_.mosfets().empty();
+    for (int iter = 0; iter < opt_.max_newton; ++iter) {
+      assemble(t, h, state, x, gmin);
+      std::vector<double> x_new = solver_->solve(rhs_);
+      if (linear) return x_new;
+
+      double max_dv = 0.0;
+      for (std::size_t k = 0; k < m_; ++k) max_dv = std::max(max_dv, std::abs(x_new[k] - x[k]));
+      if (max_dv < opt_.v_abstol + opt_.rel_tol * 1.0) return x_new;
+
+      // Damped update keeps the MOSFET linearization inside its trust region.
+      const double scale = std::min(1.0, opt_.newton_damping_v / max_dv);
+      for (std::size_t k = 0; k < m_; ++k) x[k] += scale * (x_new[k] - x[k]);
+    }
+    throw ConvergenceError("transient: Newton failed to converge");
+  }
+
+private:
+  void stamp_conductance(NodeId a, NodeId b, double g) {
+    if (a != ground) {
+      const std::size_t ia = structure_.node_index(a);
+      solver_->add(ia, ia, g);
+      if (b != ground) solver_->add(ia, structure_.node_index(b), -g);
+    }
+    if (b != ground) {
+      const std::size_t ib = structure_.node_index(b);
+      solver_->add(ib, ib, g);
+      if (a != ground) solver_->add(ib, structure_.node_index(a), -g);
+    }
+  }
+
+  void stamp_current(NodeId from, NodeId to, double i) {
+    // Current i flows from `from` into `to` through the device.
+    if (from != ground) rhs_[structure_.node_index(from)] -= i;
+    if (to != ground) rhs_[structure_.node_index(to)] += i;
+  }
+
+  void assemble(double t, double h, const DynamicState& state,
+                std::span<const double> x, double gmin) {
+    solver_->clear();
+    std::fill(rhs_.begin(), rhs_.end(), 0.0);
+    const bool dc = h <= 0.0;
+    const bool trap = opt_.integrator == Integrator::trapezoidal;
+
+    for (NodeId n = 1; n < nl_.node_count(); ++n) {
+      solver_->add(structure_.node_index(n), structure_.node_index(n), gmin);
+    }
+
+    for (const ckt::Resistor& r : nl_.resistors()) {
+      stamp_conductance(r.a, r.b, 1.0 / r.resistance);
+    }
+
+    for (std::size_t k = 0; k < nl_.capacitors().size(); ++k) {
+      if (dc) break;
+      const ckt::Capacitor& c = nl_.capacitors()[k];
+      const CapacitorState& s = state.caps[k];
+      const double geq = (trap ? 2.0 : 1.0) * c.capacitance / h;
+      const double ieq = geq * s.v + (trap ? s.i : 0.0);
+      stamp_conductance(c.a, c.b, geq);
+      // Norton companion: device current = geq * v - ieq.
+      stamp_current(c.b, c.a, ieq);
+    }
+
+    for (std::size_t k = 0; k < nl_.inductors().size(); ++k) {
+      const ckt::Inductor& l = nl_.inductors()[k];
+      const InductorState& s = state.inds[k];
+      const std::size_t j = structure_.inductor_index(k);
+      const double req = dc ? 0.0 : (trap ? 2.0 : 1.0) * l.inductance / h;
+      // Branch equation: (va - vb) - req * i = e_n.
+      if (l.a != ground) {
+        solver_->add(j, structure_.node_index(l.a), 1.0);
+        solver_->add(structure_.node_index(l.a), j, 1.0);
+      }
+      if (l.b != ground) {
+        solver_->add(j, structure_.node_index(l.b), -1.0);
+        solver_->add(structure_.node_index(l.b), j, -1.0);
+      }
+      solver_->add(j, j, -req);
+      rhs_[j] = dc ? 0.0 : (trap ? -s.v - req * s.i : -req * s.i);
+    }
+
+    for (std::size_t k = 0; k < nl_.vsources().size(); ++k) {
+      const ckt::VSource& v = nl_.vsources()[k];
+      const std::size_t j = structure_.vsource_index(k);
+      if (v.pos != ground) {
+        solver_->add(j, structure_.node_index(v.pos), 1.0);
+        solver_->add(structure_.node_index(v.pos), j, 1.0);
+      }
+      if (v.neg != ground) {
+        solver_->add(j, structure_.node_index(v.neg), -1.0);
+        solver_->add(structure_.node_index(v.neg), j, -1.0);
+      }
+      rhs_[j] = v.voltage.value_at(t);
+    }
+
+    for (const ckt::Mosfet& mos : nl_.mosfets()) {
+      const double vd = voltage(x, mos.drain);
+      const double vg = voltage(x, mos.gate);
+      const double vs = voltage(x, mos.source);
+      const ckt::MosfetEval e =
+          mos.is_pmos ? ckt::eval_pmos(mos.params, mos.width, vg - vs, vd - vs)
+                      : ckt::eval_nmos(mos.params, mos.width, vg - vs, vd - vs);
+      // Linearized channel current (drain -> source):
+      //   i = ieq + gm * vgs + gds * vds.
+      const double ieq = e.id - e.gm * (vg - vs) - e.gds * (vd - vs);
+      if (mos.drain != ground) {
+        const std::size_t id_ = structure_.node_index(mos.drain);
+        solver_->add(id_, id_, e.gds);
+        if (mos.gate != ground) solver_->add(id_, structure_.node_index(mos.gate), e.gm);
+        if (mos.source != ground) {
+          solver_->add(id_, structure_.node_index(mos.source), -(e.gm + e.gds));
+        }
+      }
+      if (mos.source != ground) {
+        const std::size_t is_ = structure_.node_index(mos.source);
+        solver_->add(is_, is_, e.gm + e.gds);
+        if (mos.gate != ground) solver_->add(is_, structure_.node_index(mos.gate), -e.gm);
+        if (mos.drain != ground) solver_->add(is_, structure_.node_index(mos.drain), -e.gds);
+      }
+      stamp_current(mos.drain, mos.source, ieq);
+    }
+  }
+
+  const Netlist& nl_;
+  const TransientOptions& opt_;
+  MnaStructure structure_;
+  std::size_t m_;
+  std::unique_ptr<LinearSolver> solver_;
+  std::vector<double> rhs_;
+};
+
+std::vector<double> solve_dc(Engine& engine, const TransientOptions& options,
+                             const DynamicState& state) {
+  std::vector<double> x(engine.structure().unknown_count(), 0.0);
+  try {
+    return engine.newton(0.0, 0.0, state, x, options.gmin);
+  } catch (const ConvergenceError&) {
+    // gmin stepping: solve a heavily damped system first and walk gmin down.
+    for (double gmin = 1e-3; gmin >= options.gmin; gmin *= 1e-2) {
+      x = engine.newton(0.0, 0.0, state, x, gmin);
+    }
+    return engine.newton(0.0, 0.0, state, x, options.gmin);
+  }
+}
+
+}  // namespace
+
+TransientResult::TransientResult(std::vector<ckt::NodeId> probes, std::size_t)
+    : probes_(std::move(probes)), waves_(probes_.size()) {}
+
+const wave::Waveform& TransientResult::at(ckt::NodeId node) const {
+  for (std::size_t k = 0; k < probes_.size(); ++k) {
+    if (probes_[k] == node) return waves_[k];
+  }
+  throw Error("TransientResult: node was not probed");
+}
+
+void TransientResult::record(double time, std::span<const double> node_voltages) {
+  for (std::size_t k = 0; k < probes_.size(); ++k) {
+    waves_[k].append(time, node_voltages[probes_[k]]);
+  }
+}
+
+OperatingPoint dc_operating_point(const ckt::Netlist& netlist,
+                                  const TransientOptions& options) {
+  Engine engine(netlist, options);
+  DynamicState state{std::vector<CapacitorState>(netlist.capacitors().size()),
+                     std::vector<InductorState>(netlist.inductors().size())};
+  const std::vector<double> x = solve_dc(engine, options, state);
+
+  OperatingPoint op;
+  op.node_voltage.resize(netlist.node_count(), 0.0);
+  for (ckt::NodeId n = 1; n < netlist.node_count(); ++n) {
+    op.node_voltage[n] = x[engine.structure().node_index(n)];
+  }
+  op.inductor_current.resize(netlist.inductors().size());
+  for (std::size_t k = 0; k < netlist.inductors().size(); ++k) {
+    op.inductor_current[k] = x[engine.structure().inductor_index(k)];
+  }
+  op.vsource_current.resize(netlist.vsources().size());
+  for (std::size_t k = 0; k < netlist.vsources().size(); ++k) {
+    op.vsource_current[k] = x[engine.structure().vsource_index(k)];
+  }
+  return op;
+}
+
+TransientResult simulate(const ckt::Netlist& netlist, const TransientOptions& options,
+                         std::span<const ckt::NodeId> probes) {
+  ensure(options.t_stop > 0.0 && options.dt > 0.0, "simulate: bad time range");
+  Engine engine(netlist, options);
+
+  DynamicState state{std::vector<CapacitorState>(netlist.capacitors().size()),
+                     std::vector<InductorState>(netlist.inductors().size())};
+  std::vector<double> x = solve_dc(engine, options, state);
+
+  // Seed device state from the operating point (capacitor currents and
+  // inductor voltages are zero in steady state).
+  for (std::size_t k = 0; k < netlist.capacitors().size(); ++k) {
+    const ckt::Capacitor& c = netlist.capacitors()[k];
+    state.caps[k].v = engine.voltage(x, c.a) - engine.voltage(x, c.b);
+    state.caps[k].i = 0.0;
+  }
+  for (std::size_t k = 0; k < netlist.inductors().size(); ++k) {
+    state.inds[k].i = x[engine.structure().inductor_index(k)];
+    state.inds[k].v = 0.0;
+  }
+
+  TransientResult result(std::vector<ckt::NodeId>(probes.begin(), probes.end()),
+                         static_cast<std::size_t>(options.t_stop / options.dt) + 2);
+  std::vector<double> node_v(netlist.node_count(), 0.0);
+  auto record = [&](double t) {
+    for (ckt::NodeId n = 1; n < netlist.node_count(); ++n) {
+      node_v[n] = x[engine.structure().node_index(n)];
+    }
+    result.record(t, node_v);
+  };
+  record(0.0);
+
+  const bool trap = options.integrator == Integrator::trapezoidal;
+  double t = 0.0;
+  while (t < options.t_stop - 1e-21) {
+    const double h = std::min(options.dt, options.t_stop - t);
+    const double t_next = t + h;
+    x = engine.newton(t_next, h, state, x, options.gmin);
+
+    // Advance companion-model state.
+    for (std::size_t k = 0; k < netlist.capacitors().size(); ++k) {
+      const ckt::Capacitor& c = netlist.capacitors()[k];
+      CapacitorState& s = state.caps[k];
+      const double v_new = engine.voltage(x, c.a) - engine.voltage(x, c.b);
+      const double geq = (trap ? 2.0 : 1.0) * c.capacitance / h;
+      const double i_new = trap ? geq * (v_new - s.v) - s.i : geq * (v_new - s.v);
+      s.v = v_new;
+      s.i = i_new;
+    }
+    for (std::size_t k = 0; k < netlist.inductors().size(); ++k) {
+      const ckt::Inductor& l = netlist.inductors()[k];
+      InductorState& s = state.inds[k];
+      s.i = x[engine.structure().inductor_index(k)];
+      s.v = engine.voltage(x, l.a) - engine.voltage(x, l.b);
+    }
+
+    t = t_next;
+    record(t);
+  }
+  return result;
+}
+
+}  // namespace rlceff::sim

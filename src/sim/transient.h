@@ -1,0 +1,68 @@
+// Transient circuit simulation (the reproduction's HSPICE substitute).
+//
+// Fixed-step MNA integration with trapezoidal (default) or backward-Euler
+// companion models, Newton-Raphson for the MOSFET driver, and a DC operating
+// point with gmin stepping.  The Jacobian is factored with a banded LU after
+// reverse Cuthill-McKee ordering (discretized lines are nearly tridiagonal)
+// and falls back to dense LU when the bandwidth is not small.
+#ifndef RLCEFF_SIM_TRANSIENT_H
+#define RLCEFF_SIM_TRANSIENT_H
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "circuit/netlist.h"
+#include "waveform/waveform.h"
+
+namespace rlceff::sim {
+
+enum class Integrator { trapezoidal, backward_euler };
+
+struct TransientOptions {
+  double t_stop = 1e-9;     // simulation end time [s]
+  double dt = 0.1e-12;      // fixed time step [s]
+  Integrator integrator = Integrator::trapezoidal;
+  double gmin = 1e-12;      // conductance to ground at every node [S]
+  double v_abstol = 1e-6;   // Newton voltage convergence [V]
+  double i_abstol = 1e-9;   // Newton branch-current convergence [A]
+  double rel_tol = 1e-6;
+  int max_newton = 100;
+  double newton_damping_v = 0.6;  // max voltage change accepted per iteration [V]
+};
+
+// Simulation output: one sampled waveform per probed node.
+class TransientResult {
+public:
+  TransientResult(std::vector<ckt::NodeId> probes, std::size_t reserve_steps);
+
+  const std::vector<ckt::NodeId>& probes() const { return probes_; }
+  const wave::Waveform& at(ckt::NodeId node) const;
+
+  void record(double time, std::span<const double> node_voltages);
+
+private:
+  std::vector<ckt::NodeId> probes_;
+  std::vector<wave::Waveform> waves_;
+};
+
+// DC operating point: node voltages indexed by NodeId (ground included as 0)
+// plus inductor branch currents in netlist order.
+struct OperatingPoint {
+  std::vector<double> node_voltage;
+  std::vector<double> inductor_current;
+  std::vector<double> vsource_current;
+};
+
+// Solves the DC operating point at t = 0 (sources at their t = 0 values,
+// capacitors open, inductors shorted).
+OperatingPoint dc_operating_point(const ckt::Netlist& netlist,
+                                  const TransientOptions& options = {});
+
+// Runs a transient from the DC operating point, recording the probed nodes.
+TransientResult simulate(const ckt::Netlist& netlist, const TransientOptions& options,
+                         std::span<const ckt::NodeId> probes);
+
+}  // namespace rlceff::sim
+
+#endif  // RLCEFF_SIM_TRANSIENT_H

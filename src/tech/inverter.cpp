@@ -1,0 +1,38 @@
+#include "tech/inverter.h"
+
+#include "util/error.h"
+
+namespace rlceff::tech {
+
+double Inverter::input_capacitance(const Technology& t) const {
+  const double w_total = nmos_width(t) + pmos_width(t);
+  return w_total * (t.c_gate_per_width + t.c_overlap_per_width);
+}
+
+double Inverter::output_capacitance(const Technology& t) const {
+  const double w_total = nmos_width(t) + pmos_width(t);
+  return w_total * t.c_drain_per_width;
+}
+
+InverterInstance add_inverter(ckt::Netlist& netlist, const Technology& tech,
+                              const Inverter& cell, ckt::NodeId input,
+                              ckt::NodeId output) {
+  ensure(cell.size > 0.0, "add_inverter: size must be positive");
+  const ckt::NodeId vdd = netlist.add_node();
+  const std::size_t rail = netlist.add_vsource(
+      vdd, ckt::ground, wave::Pwl({{0.0, tech.vdd}}));
+
+  netlist.add_mosfet(output, input, ckt::ground, tech.nmos, cell.nmos_width(tech),
+                     /*is_pmos=*/false);
+  netlist.add_mosfet(output, input, vdd, tech.pmos, cell.pmos_width(tech),
+                     /*is_pmos=*/true);
+
+  const double w_total = cell.nmos_width(tech) + cell.pmos_width(tech);
+  netlist.add_capacitor(input, ckt::ground, w_total * tech.c_gate_per_width);
+  netlist.add_capacitor(input, output, w_total * tech.c_overlap_per_width);
+  netlist.add_capacitor(output, ckt::ground, w_total * tech.c_drain_per_width);
+
+  return {input, output, rail};
+}
+
+}  // namespace rlceff::tech

@@ -1,0 +1,42 @@
+// Sized inverter driver cell.
+//
+// The paper's drivers are inverters whose NMOS width is `size` times the
+// minimum width (0.36 um) with PMOS twice as wide (footnote 1).  This header
+// provides the sizing arithmetic and the deck builder that instantiates the
+// cell into a Netlist (two MOSFETs plus gate/drain/overlap parasitics).
+#ifndef RLCEFF_TECH_INVERTER_H
+#define RLCEFF_TECH_INVERTER_H
+
+#include "circuit/netlist.h"
+#include "tech/technology.h"
+
+namespace rlceff::tech {
+
+struct Inverter {
+  double size = 1.0;  // drive strength in multiples of minimum (e.g. 75 for "75X")
+
+  double nmos_width(const Technology& t) const { return size * t.w_unit; }
+  double pmos_width(const Technology& t) const { return size * t.w_unit * t.pmos_ratio; }
+
+  // Input capacitance seen by the previous stage (gate + overlap).
+  double input_capacitance(const Technology& t) const;
+  // Output (drain junction) capacitance contributed by the cell itself.
+  double output_capacitance(const Technology& t) const;
+};
+
+// Instantiated cell terminals inside a netlist.
+struct InverterInstance {
+  ckt::NodeId input;
+  ckt::NodeId output;
+  std::size_t vdd_source;  // index of the rail source in the netlist
+};
+
+// Adds the inverter between `input` and `output` with a dedicated DC rail
+// source.  Gate, overlap and drain parasitics are included.
+InverterInstance add_inverter(ckt::Netlist& netlist, const Technology& tech,
+                              const Inverter& cell, ckt::NodeId input,
+                              ckt::NodeId output);
+
+}  // namespace rlceff::tech
+
+#endif  // RLCEFF_TECH_INVERTER_H

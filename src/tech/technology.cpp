@@ -1,0 +1,26 @@
+#include "tech/technology.h"
+
+namespace rlceff::tech {
+
+Technology Technology::cmos180() {
+  Technology t;
+  // NMOS: Idsat ~ 650 uA/um at Vgs = Vds = 1.8 V, Vth ~ 0.45 V, alpha ~ 1.3.
+  t.nmos.vth = 0.45;
+  t.nmos.alpha = 1.3;
+  t.nmos.k_sat = 440.0;   // A/(m * V^alpha) -> 650 uA/um at Vgt = 1.35 V
+  t.nmos.kv = 0.8;
+  t.nmos.lambda = 0.06;
+  // PMOS: Idsat ~ 280 uA/um.  With the 2x width ratio a 75X pull-up delivers
+  // ~15 mA, which reproduces the paper's Fig-1 plateau at ~0.58 * Vdd on a
+  // 68-ohm line (f = Idsat * Z0 / Vdd); kv is set so the Thevenin resistance
+  // extracted from the 50-90 % tail (~50 ohm at 75X) is consistent with that
+  // plateau through Eq 1.
+  t.pmos.vth = 0.45;
+  t.pmos.alpha = 1.4;
+  t.pmos.k_sat = 189.0;
+  t.pmos.kv = 0.8;
+  t.pmos.lambda = 0.06;
+  return t;
+}
+
+}  // namespace rlceff::tech

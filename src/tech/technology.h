@@ -1,0 +1,36 @@
+// Technology description (the reproduction's stand-in for the paper's
+// commercial 1.8 V, 0.18 um CMOS process).
+//
+// Device parameters are alpha-power-law MOSFETs calibrated to public 0.18 um
+// characteristics.  The calibration target that actually matters for the
+// paper's experiments is the driver's Thevenin output resistance: inverters
+// from 25X to 125X must straddle the characteristic impedance of global
+// wires (56-80 ohm), which puts weak drivers in the RC regime and strong
+// drivers in the transmission-line regime, exactly as in the paper.
+#ifndef RLCEFF_TECH_TECHNOLOGY_H
+#define RLCEFF_TECH_TECHNOLOGY_H
+
+#include "circuit/mosfet.h"
+
+namespace rlceff::tech {
+
+struct Technology {
+  double vdd = 1.8;              // supply [V]
+  double l_min = 0.18e-6;        // drawn channel length [m]
+  double w_unit = 0.36e-6;       // "1X" NMOS width = 2 * l_min [m] (paper's footnote 1)
+  double pmos_ratio = 2.0;       // PMOS width / NMOS width in an inverter
+
+  ckt::MosfetParams nmos;
+  ckt::MosfetParams pmos;
+
+  double c_gate_per_width = 1.8e-9;     // gate input capacitance [F/m of width]
+  double c_drain_per_width = 1.0e-9;    // drain junction capacitance [F/m of width]
+  double c_overlap_per_width = 0.25e-9; // gate-drain overlap (Miller) [F/m of width]
+
+  // The 0.18 um calibration used throughout the reproduction.
+  static Technology cmos180();
+};
+
+}  // namespace rlceff::tech
+
+#endif  // RLCEFF_TECH_TECHNOLOGY_H

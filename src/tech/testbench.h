@@ -1,0 +1,81 @@
+// Canonical simulation decks.
+//
+// Every experiment in the paper is one of three decks:
+//   1. an inverter driving a pure capacitive load (library characterization),
+//   2. an inverter driving a discretized RLC line (the "HSPICE" reference),
+//   3. an ideal PWL source driving the same line (replaying a modeled driver
+//      output waveform to validate the far-end response, Fig 6).
+//
+// The input stimulus is a falling saturated ramp (so the driver output
+// rises), starting after a short DC hold.  All waveforms are returned in
+// absolute simulation time; input_time_50() gives the reference instant
+// delays are measured from.
+#ifndef RLCEFF_TECH_TESTBENCH_H
+#define RLCEFF_TECH_TESTBENCH_H
+
+#include "moments/admittance.h"
+#include "sim/transient.h"
+#include "tech/inverter.h"
+#include "tech/technology.h"
+#include "tech/wire.h"
+#include "waveform/pwl.h"
+#include "waveform/waveform.h"
+
+namespace rlceff::tech {
+
+struct DeckOptions {
+  double t_start = 10e-12;       // input edge begins here [s]
+  double t_stop = 2e-9;          // simulation horizon [s]
+  double dt = 0.25e-12;          // time step [s]
+  std::size_t segments = 120;    // ladder discretization of the line
+  double c_load_far = 20e-15;    // receiver load at the far end [F]
+  sim::TransientOptions sim;     // solver controls (t_stop/dt overridden)
+};
+
+struct LineSimResult {
+  wave::Waveform near_end;  // driver output
+  wave::Waveform far_end;
+  double input_time_50 = 0.0;  // 50 % crossing of the input stimulus
+};
+
+// Falling input ramp (Vdd -> 0) with full-swing transition time input_slew.
+wave::Pwl falling_input(const Technology& tech, double t_start, double input_slew);
+
+// Deck 1: driver into a lumped capacitor.  Returns the output waveform and
+// the input 50 % time via the out-parameter.
+wave::Waveform simulate_driver_cap_load(const Technology& tech, const Inverter& cell,
+                                        double input_slew, double c_load,
+                                        const DeckOptions& options,
+                                        double* input_time_50 = nullptr);
+
+// Deck 2: driver into an RLC ladder with a far-end receiver load.
+LineSimResult simulate_driver_line(const Technology& tech, const Inverter& cell,
+                                   double input_slew, const WireParasitics& wire,
+                                   const DeckOptions& options);
+
+// Deck 3: ideal source waveform into the same ladder.
+LineSimResult simulate_source_line(const wave::Pwl& source, const WireParasitics& wire,
+                                   const DeckOptions& options);
+
+// Tree decks: each moments::RlcBranch becomes a discretized ladder segment;
+// children hang off its far end; receiver loads belong in the leaf branches'
+// capacitance.  Leaf waveforms are returned in depth-first order.
+struct TreeSimResult {
+  wave::Waveform near_end;
+  std::vector<wave::Waveform> leaves;
+  double input_time_50 = 0.0;
+};
+
+TreeSimResult simulate_driver_tree(const Technology& tech, const Inverter& cell,
+                                   double input_slew, const moments::RlcBranch& net,
+                                   const DeckOptions& options,
+                                   std::size_t segments_per_branch = 30);
+
+TreeSimResult simulate_source_tree(const wave::Pwl& source,
+                                   const moments::RlcBranch& net,
+                                   const DeckOptions& options,
+                                   std::size_t segments_per_branch = 30);
+
+}  // namespace rlceff::tech
+
+#endif  // RLCEFF_TECH_TESTBENCH_H

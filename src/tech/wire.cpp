@@ -1,0 +1,97 @@
+#include "tech/wire.h"
+
+#include <array>
+#include <cmath>
+
+#include "util/error.h"
+#include "util/units.h"
+
+namespace rlceff::tech {
+
+namespace {
+
+using units::ff;
+using units::mm;
+using units::nh;
+using units::ohm;
+using units::pf;
+using units::um;
+
+constexpr double r_fit_a = 20.418;   // ohm*um/mm
+constexpr double r_fit_b = 1.7278;   // ohm/mm
+constexpr double l_fit_a = 1.08055;  // nH/mm
+constexpr double l_fit_b = 0.12312;  // nH/mm per ln(um)
+constexpr double c_fit_0 = 131.5306; // fF/mm
+constexpr double c_fit_1 = 56.2490;  // fF/mm/um
+constexpr double c_fit_2 = -0.6039;  // fF/mm/um^2
+
+const std::array<PaperWireCase, 16> cases = {{
+    {3.0, 0.8, {81.8, 3.3 * nh, 0.52 * pf}},
+    {3.0, 1.2, {56.3, 3.2 * nh, 0.59 * pf}},
+    {3.0, 1.6, {43.5, 3.1 * nh, 0.66 * pf}},
+    {4.0, 0.8, {108.9, 4.42 * nh, 0.704 * pf}},
+    {4.0, 1.2, {75.0, 4.2 * nh, 0.80 * pf}},
+    {4.0, 1.6, {58.0, 4.13 * nh, 0.884 * pf}},
+    {5.0, 1.2, {93.7, 5.3 * nh, 1.0 * pf}},
+    {5.0, 1.6, {72.44, 5.14 * nh, 1.10 * pf}},
+    {5.0, 2.0, {59.7, 5.0 * nh, 1.22 * pf}},
+    {5.0, 2.5, {49.5, 4.8 * nh, 1.31 * pf}},
+    {6.0, 1.2, {112.4, 6.3 * nh, 1.19 * pf}},
+    {6.0, 1.6, {86.9, 6.2 * nh, 1.33 * pf}},
+    {6.0, 2.0, {71.6, 6.0 * nh, 1.46 * pf}},
+    {6.0, 2.5, {59.3, 5.8 * nh, 1.58 * pf}},
+    {6.0, 3.0, {51.2, 5.6 * nh, 1.80 * pf}},
+    {7.0, 1.6, {101.3, 7.1 * nh, 1.54 * pf}},
+}};
+
+}  // namespace
+
+double WireParasitics::z0() const {
+  ensure(inductance > 0.0 && capacitance > 0.0, "WireParasitics: need L and C for Z0");
+  return std::sqrt(inductance / capacitance);
+}
+
+double WireParasitics::time_of_flight() const {
+  ensure(inductance > 0.0 && capacitance > 0.0, "WireParasitics: need L and C for tf");
+  return std::sqrt(inductance * capacitance);
+}
+
+double WireModel::resistance_per_meter(double width) const {
+  ensure(width > 0.0, "WireModel: width must be positive");
+  const double w_um = width / um;
+  return (r_fit_a / w_um + r_fit_b) * ohm / mm;
+}
+
+double WireModel::inductance_per_meter(double width) const {
+  ensure(width > 0.0, "WireModel: width must be positive");
+  const double w_um = width / um;
+  return (l_fit_a - l_fit_b * std::log(w_um)) * nh / mm;
+}
+
+double WireModel::capacitance_per_meter(double width) const {
+  ensure(width > 0.0, "WireModel: width must be positive");
+  const double w_um = width / um;
+  return (c_fit_0 + c_fit_1 * w_um + c_fit_2 * w_um * w_um) * ff / mm;
+}
+
+WireParasitics WireModel::extract(const WireGeometry& geometry) const {
+  ensure(geometry.length > 0.0, "WireModel: length must be positive");
+  WireParasitics p;
+  p.resistance = resistance_per_meter(geometry.width) * geometry.length;
+  p.inductance = inductance_per_meter(geometry.width) * geometry.length;
+  p.capacitance = capacitance_per_meter(geometry.width) * geometry.length;
+  return p;
+}
+
+std::span<const PaperWireCase> paper_wire_cases() { return cases; }
+
+std::optional<WireParasitics> find_paper_wire_case(double length_mm, double width_um) {
+  for (const PaperWireCase& c : cases) {
+    if (std::abs(c.length_mm - length_mm) < 0.05 && std::abs(c.width_um - width_um) < 0.05) {
+      return c.parasitics;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace rlceff::tech

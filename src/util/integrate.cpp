@@ -1,0 +1,46 @@
+#include "util/integrate.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace rlceff::util {
+
+namespace {
+
+double simpson(double fa, double fm, double fb, double h) {
+  return h / 6.0 * (fa + 4.0 * fm + fb);
+}
+
+double adaptive(const std::function<double(double)>& f, double a, double b, double fa,
+                double fm, double fb, double whole, int depth,
+                const QuadratureOptions& opt) {
+  const double m = 0.5 * (a + b);
+  const double lm = 0.5 * (a + m);
+  const double rm = 0.5 * (m + b);
+  const double flm = f(lm);
+  const double frm = f(rm);
+  const double left = simpson(fa, flm, fm, m - a);
+  const double right = simpson(fm, frm, fb, b - m);
+  const double delta = left + right - whole;
+  const double tol = std::max(opt.abs_tol, opt.rel_tol * std::abs(left + right));
+  if (depth <= 0 || std::abs(delta) <= 15.0 * tol) {
+    return left + right + delta / 15.0;
+  }
+  return adaptive(f, a, m, fa, flm, fm, left, depth - 1, opt) +
+         adaptive(f, m, b, fm, frm, fb, right, depth - 1, opt);
+}
+
+}  // namespace
+
+double integrate(const std::function<double(double)>& f, double a, double b,
+                 const QuadratureOptions& opt) {
+  if (a == b) return 0.0;
+  const double fa = f(a);
+  const double fb = f(b);
+  const double fm = f(0.5 * (a + b));
+  const double whole = simpson(fa, fm, fb, b - a);
+  return adaptive(f, a, b, fa, fm, fb, whole, opt.max_depth, opt);
+}
+
+}  // namespace rlceff::util

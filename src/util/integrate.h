@@ -1,0 +1,25 @@
+// Numerical quadrature.
+//
+// The paper's Eq 5/7 charge integrals have closed forms (implemented in
+// rlceff::core); adaptive Simpson is the independent cross-check used by the
+// test suite and the fallback for arbitrary integrands.
+#ifndef RLCEFF_UTIL_INTEGRATE_H
+#define RLCEFF_UTIL_INTEGRATE_H
+
+#include <functional>
+
+namespace rlceff::util {
+
+struct QuadratureOptions {
+  double rel_tol = 1e-10;
+  double abs_tol = 1e-18;
+  int max_depth = 40;
+};
+
+// Adaptive Simpson integration of f over [a, b].
+double integrate(const std::function<double(double)>& f, double a, double b,
+                 const QuadratureOptions& opt = {});
+
+}  // namespace rlceff::util
+
+#endif  // RLCEFF_UTIL_INTEGRATE_H

@@ -1,0 +1,163 @@
+#include "util/linalg.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace rlceff::util {
+
+namespace {
+constexpr double pivot_floor = 1e-300;
+}  // namespace
+
+DenseMatrix::DenseMatrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), a_(rows * cols, 0.0) {}
+
+void DenseMatrix::set_zero() { std::fill(a_.begin(), a_.end(), 0.0); }
+
+LuFactors lu_factor(const DenseMatrix& a) {
+  ensure(a.rows() == a.cols(), "lu_factor: matrix must be square");
+  const std::size_t n = a.rows();
+  LuFactors f{a, std::vector<std::size_t>(n)};
+  DenseMatrix& lu = f.lu;
+
+  for (std::size_t k = 0; k < n; ++k) {
+    std::size_t prow = k;
+    double pmax = std::abs(lu(k, k));
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double v = std::abs(lu(i, k));
+      if (v > pmax) {
+        pmax = v;
+        prow = i;
+      }
+    }
+    if (pmax < pivot_floor) throw SingularMatrixError("lu_factor: singular matrix");
+    f.perm[k] = prow;
+    if (prow != k) {
+      // Swap only the active columns: the stored multipliers are per-step
+      // elimination records, and lu_solve replays swap-then-eliminate in the
+      // same order.  Swapping the L part too would break that replay.
+      for (std::size_t j = k; j < n; ++j) std::swap(lu(k, j), lu(prow, j));
+    }
+    const double inv = 1.0 / lu(k, k);
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double m = lu(i, k) * inv;
+      lu(i, k) = m;
+      if (m == 0.0) continue;
+      for (std::size_t j = k + 1; j < n; ++j) lu(i, j) -= m * lu(k, j);
+    }
+  }
+  return f;
+}
+
+std::vector<double> lu_solve(const LuFactors& f, std::span<const double> b) {
+  const std::size_t n = f.lu.rows();
+  ensure(b.size() == n, "lu_solve: rhs size mismatch");
+  std::vector<double> x(b.begin(), b.end());
+
+  for (std::size_t k = 0; k < n; ++k) {
+    std::swap(x[k], x[f.perm[k]]);
+    for (std::size_t i = k + 1; i < n; ++i) x[i] -= f.lu(i, k) * x[k];
+  }
+  for (std::size_t k = n; k-- > 0;) {
+    for (std::size_t j = k + 1; j < n; ++j) x[k] -= f.lu(k, j) * x[j];
+    x[k] /= f.lu(k, k);
+  }
+  return x;
+}
+
+std::vector<double> solve_dense(const DenseMatrix& a, std::span<const double> b) {
+  return lu_solve(lu_factor(a), b);
+}
+
+BandedMatrix::BandedMatrix(std::size_t n, std::size_t lower, std::size_t upper)
+    : n_(n),
+      kl_(lower),
+      ku_(upper),
+      ku_tot_(upper + lower),
+      ld_(2 * lower + upper + 1),
+      ab_(n * ld_, 0.0),
+      pivot_(n, 0) {
+  ensure(n > 0, "BandedMatrix: empty matrix");
+}
+
+bool BandedMatrix::in_band(std::size_t r, std::size_t c) const {
+  if (r >= n_ || c >= n_) return false;
+  if (r >= c) return r - c <= kl_;
+  return c - r <= ku_;
+}
+
+double& BandedMatrix::at(std::size_t r, std::size_t c) {
+  return ab_[c * ld_ + (ku_tot_ + r - c)];
+}
+
+double BandedMatrix::at(std::size_t r, std::size_t c) const {
+  return ab_[c * ld_ + (ku_tot_ + r - c)];
+}
+
+void BandedMatrix::add(std::size_t r, std::size_t c, double v) {
+  ensure(!factored_, "BandedMatrix: modifying a factored matrix");
+  ensure(in_band(r, c), "BandedMatrix: entry outside declared band");
+  at(r, c) += v;
+}
+
+double BandedMatrix::get(std::size_t r, std::size_t c) const {
+  if (r >= c ? (r - c > kl_) : (c - r > ku_tot_)) return 0.0;
+  return at(r, c);
+}
+
+void BandedMatrix::set_zero() {
+  std::fill(ab_.begin(), ab_.end(), 0.0);
+  factored_ = false;
+}
+
+void BandedMatrix::factor() {
+  ensure(!factored_, "BandedMatrix: already factored");
+  for (std::size_t k = 0; k < n_; ++k) {
+    const std::size_t ilast = std::min(n_ - 1, k + kl_);
+    std::size_t prow = k;
+    double pmax = std::abs(at(k, k));
+    for (std::size_t i = k + 1; i <= ilast; ++i) {
+      const double v = std::abs(at(i, k));
+      if (v > pmax) {
+        pmax = v;
+        prow = i;
+      }
+    }
+    if (pmax < pivot_floor) throw SingularMatrixError("BandedMatrix: singular matrix");
+    pivot_[k] = prow;
+    const std::size_t jlast = std::min(n_ - 1, k + ku_tot_);
+    if (prow != k) {
+      for (std::size_t j = k; j <= jlast; ++j) std::swap(at(k, j), at(prow, j));
+    }
+    const double inv = 1.0 / at(k, k);
+    for (std::size_t i = k + 1; i <= ilast; ++i) {
+      const double m = at(i, k) * inv;
+      at(i, k) = m;
+      if (m == 0.0) continue;
+      for (std::size_t j = k + 1; j <= jlast; ++j) at(i, j) -= m * at(k, j);
+    }
+  }
+  factored_ = true;
+}
+
+std::vector<double> BandedMatrix::solve(std::span<const double> b) const {
+  ensure(factored_, "BandedMatrix: solve before factor");
+  ensure(b.size() == n_, "BandedMatrix: rhs size mismatch");
+  std::vector<double> x(b.begin(), b.end());
+
+  for (std::size_t k = 0; k < n_; ++k) {
+    std::swap(x[k], x[pivot_[k]]);
+    const std::size_t ilast = std::min(n_ - 1, k + kl_);
+    for (std::size_t i = k + 1; i <= ilast; ++i) x[i] -= at(i, k) * x[k];
+  }
+  for (std::size_t k = n_; k-- > 0;) {
+    const std::size_t jlast = std::min(n_ - 1, k + ku_tot_);
+    for (std::size_t j = k + 1; j <= jlast; ++j) x[k] -= at(k, j) * x[j];
+    x[k] /= at(k, k);
+  }
+  return x;
+}
+
+}  // namespace rlceff::util

@@ -1,0 +1,92 @@
+// Dense and banded linear algebra.
+//
+// The MNA simulator factors one Jacobian per Newton iteration.  For small
+// circuits the dense LU is fine; for discretized transmission lines (hundreds
+// of unknowns, nearly tridiagonal after RCM ordering) the banded LU keeps a
+// transient run at O(n * bandwidth^2) per step.
+#ifndef RLCEFF_UTIL_LINALG_H
+#define RLCEFF_UTIL_LINALG_H
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace rlceff::util {
+
+// Row-major dense matrix.
+class DenseMatrix {
+public:
+  DenseMatrix() = default;
+  DenseMatrix(std::size_t rows, std::size_t cols);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  double operator()(std::size_t r, std::size_t c) const { return a_[r * cols_ + c]; }
+  double& operator()(std::size_t r, std::size_t c) { return a_[r * cols_ + c]; }
+
+  void set_zero();
+
+private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> a_;
+};
+
+// LU factorization with partial pivoting (PA = LU), stored in place.
+struct LuFactors {
+  DenseMatrix lu;
+  std::vector<std::size_t> perm;
+};
+
+// Factors a square matrix; throws SingularMatrixError when a pivot vanishes.
+LuFactors lu_factor(const DenseMatrix& a);
+
+// Solves A x = b given the factorization of A.
+std::vector<double> lu_solve(const LuFactors& f, std::span<const double> b);
+
+// Convenience: factor and solve in one call.
+std::vector<double> solve_dense(const DenseMatrix& a, std::span<const double> b);
+
+// Banded matrix in LAPACK-style band storage with room for pivoting fill.
+// Entry (r, c) is stored when |r - c| is within (lower, upper) bandwidth.
+class BandedMatrix {
+public:
+  // n unknowns with `lower` subdiagonals and `upper` superdiagonals.
+  BandedMatrix(std::size_t n, std::size_t lower, std::size_t upper);
+
+  std::size_t size() const { return n_; }
+  std::size_t lower() const { return kl_; }
+  std::size_t upper() const { return ku_; }
+
+  // In-band accumulate; throws if (r, c) is outside the band.
+  void add(std::size_t r, std::size_t c, double v);
+  double get(std::size_t r, std::size_t c) const;
+  bool in_band(std::size_t r, std::size_t c) const;
+
+  void set_zero();
+
+  // Factors in place (partial pivoting, fill confined to kl extra
+  // superdiagonals) and solves.  The matrix must have been built with
+  // `upper` at least its true upper bandwidth; factorization uses
+  // ku_total = ku + kl internally.
+  void factor();
+  std::vector<double> solve(std::span<const double> b) const;
+
+private:
+  double& at(std::size_t r, std::size_t c);
+  double at(std::size_t r, std::size_t c) const;
+
+  std::size_t n_;
+  std::size_t kl_;
+  std::size_t ku_;        // user-declared upper bandwidth
+  std::size_t ku_tot_;    // ku_ + kl_ (pivoting fill)
+  std::size_t ld_;        // leading dimension of band storage
+  bool factored_ = false;
+  std::vector<double> ab_;          // band storage, column-major in bands
+  std::vector<std::size_t> pivot_;  // row swaps applied during factorization
+};
+
+}  // namespace rlceff::util
+
+#endif  // RLCEFF_UTIL_LINALG_H

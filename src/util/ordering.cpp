@@ -1,0 +1,75 @@
+#include "util/ordering.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/error.h"
+
+namespace rlceff::util {
+
+void SparsityGraph::add_edge(std::size_t a, std::size_t b) {
+  ensure(a < adj_.size() && b < adj_.size(), "SparsityGraph: vertex out of range");
+  if (a == b) return;
+  // Keep adjacency lists duplicate-free; degrees drive the BFS tie-break.
+  if (std::find(adj_[a].begin(), adj_[a].end(), b) == adj_[a].end()) {
+    adj_[a].push_back(b);
+    adj_[b].push_back(a);
+  }
+}
+
+std::vector<std::size_t> reverse_cuthill_mckee(const SparsityGraph& g) {
+  const std::size_t n = g.size();
+  std::vector<bool> visited(n, false);
+  std::vector<std::size_t> order;
+  order.reserve(n);
+
+  // Vertices sorted by degree; used both to seed components and to break ties.
+  std::vector<std::size_t> by_degree(n);
+  for (std::size_t v = 0; v < n; ++v) by_degree[v] = v;
+  std::sort(by_degree.begin(), by_degree.end(), [&](std::size_t a, std::size_t b) {
+    return g.neighbors(a).size() < g.neighbors(b).size();
+  });
+
+  std::queue<std::size_t> frontier;
+  for (std::size_t seed : by_degree) {
+    if (visited[seed]) continue;
+    visited[seed] = true;
+    frontier.push(seed);
+    while (!frontier.empty()) {
+      const std::size_t v = frontier.front();
+      frontier.pop();
+      order.push_back(v);
+      std::vector<std::size_t> next;
+      for (std::size_t w : g.neighbors(v)) {
+        if (!visited[w]) {
+          visited[w] = true;
+          next.push_back(w);
+        }
+      }
+      std::sort(next.begin(), next.end(), [&](std::size_t a, std::size_t b) {
+        return g.neighbors(a).size() < g.neighbors(b).size();
+      });
+      for (std::size_t w : next) frontier.push(w);
+    }
+  }
+
+  std::reverse(order.begin(), order.end());
+  std::vector<std::size_t> perm(n);
+  for (std::size_t pos = 0; pos < n; ++pos) perm[order[pos]] = pos;
+  return perm;
+}
+
+std::size_t bandwidth(const SparsityGraph& g, const std::vector<std::size_t>& perm) {
+  ensure(perm.size() == g.size(), "bandwidth: permutation size mismatch");
+  std::size_t bw = 0;
+  for (std::size_t v = 0; v < g.size(); ++v) {
+    for (std::size_t w : g.neighbors(v)) {
+      const std::size_t a = perm[v];
+      const std::size_t b = perm[w];
+      bw = std::max(bw, a > b ? a - b : b - a);
+    }
+  }
+  return bw;
+}
+
+}  // namespace rlceff::util

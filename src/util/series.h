@@ -1,0 +1,75 @@
+// Truncated power-series arithmetic.
+//
+// A Series represents f(s) = c[0] + c[1]*s + ... + c[n-1]*s^(n-1) + O(s^n),
+// i.e. a Taylor expansion truncated after a fixed number of terms.  This is
+// the algebra used to propagate driving-point admittance moments through RLC
+// ladders, trees and distributed lines: the k-th admittance moment is simply
+// the k-th series coefficient of Y(s).
+//
+// All binary operations require equal truncation orders (moment computations
+// pick one order up front).  Division and sqrt require an invertible leading
+// coefficient.
+#ifndef RLCEFF_UTIL_SERIES_H
+#define RLCEFF_UTIL_SERIES_H
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace rlceff::util {
+
+class Series {
+public:
+  // Zero series with n coefficients (all O(s^n) terms dropped).
+  explicit Series(std::size_t n);
+
+  // Series from explicit coefficients, truncated/zero-padded to n terms.
+  Series(std::initializer_list<double> coeffs, std::size_t n);
+  Series(std::span<const double> coeffs, std::size_t n);
+
+  // Constant c + O(s^n).
+  static Series constant(double c, std::size_t n);
+  // The monomial s + O(s^n); n must be >= 2.
+  static Series variable(std::size_t n);
+
+  std::size_t size() const { return c_.size(); }
+  double operator[](std::size_t k) const { return c_[k]; }
+  double& operator[](std::size_t k) { return c_[k]; }
+  std::span<const double> coeffs() const { return c_; }
+
+  Series operator-() const;
+  Series& operator+=(const Series& rhs);
+  Series& operator-=(const Series& rhs);
+  Series& operator*=(double k);
+
+  friend Series operator+(Series lhs, const Series& rhs) { return lhs += rhs; }
+  friend Series operator-(Series lhs, const Series& rhs) { return lhs -= rhs; }
+  friend Series operator*(Series lhs, double k) { return lhs *= k; }
+  friend Series operator*(double k, Series rhs) { return rhs *= k; }
+
+  // Cauchy product, truncated.
+  friend Series operator*(const Series& lhs, const Series& rhs);
+  // Series division; rhs[0] must be nonzero.
+  friend Series operator/(const Series& lhs, const Series& rhs);
+
+  // Multiply by s^k (shift coefficients up, dropping overflow).
+  Series shifted(std::size_t k) const;
+
+  // sqrt(f) with f[0] > 0.
+  Series sqrt() const;
+
+  // Substitute: returns outer(inner(s)) where outer's "variable" is inner.
+  // inner must have inner[0] == 0 (valuation >= 1) so the composition is a
+  // well-defined truncated series.
+  static Series compose(std::span<const double> outer, const Series& inner);
+
+  // True when every coefficient differs from rhs by at most tol (absolute).
+  bool almost_equal(const Series& rhs, double tol) const;
+
+private:
+  std::vector<double> c_;
+};
+
+}  // namespace rlceff::util
+
+#endif  // RLCEFF_UTIL_SERIES_H

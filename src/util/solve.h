@@ -1,0 +1,44 @@
+// Scalar equation solvers.
+//
+// brent() finds a bracketed root; fixed_point() runs the damped iteration
+// used by the Ceff <-> cell-table loops of Sections 4.1/4.2.
+#ifndef RLCEFF_UTIL_SOLVE_H
+#define RLCEFF_UTIL_SOLVE_H
+
+#include <functional>
+
+namespace rlceff::util {
+
+struct SolveOptions {
+  double x_tol = 1e-12;
+  double f_tol = 1e-14;
+  int max_iter = 200;
+};
+
+// Root of f on [a, b]; f(a) and f(b) must have opposite signs.
+double brent(const std::function<double(double)>& f, double a, double b,
+             const SolveOptions& opt = {});
+
+struct FixedPointOptions {
+  double rel_tol = 1e-9;     // convergence on |x_new - x| / max(|x_new|, floor)
+  double damping = 1.0;      // x <- x + damping * (g(x) - x)
+  int max_iter = 100;
+  double lower = -1e300;     // clamp applied after each update
+  double upper = 1e300;
+};
+
+struct FixedPointResult {
+  double x = 0.0;
+  int iterations = 0;
+  bool converged = false;
+};
+
+// Damped fixed-point iteration x <- g(x) starting from x0, clamped to
+// [lower, upper].  Returns the last iterate with a convergence flag rather
+// than throwing: Ceff loops treat slow convergence as "use the last value".
+FixedPointResult fixed_point(const std::function<double(double)>& g, double x0,
+                             const FixedPointOptions& opt = {});
+
+}  // namespace rlceff::util
+
+#endif  // RLCEFF_UTIL_SOLVE_H

@@ -1,0 +1,43 @@
+#include "util/stats.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace rlceff::util {
+
+double relative_error(double model, double reference) {
+  ensure(reference != 0.0, "relative_error: zero reference");
+  return (model - reference) / reference;
+}
+
+double mean(std::span<const double> xs) {
+  ensure(!xs.empty(), "mean: empty sample");
+  double acc = 0.0;
+  for (double x : xs) acc += x;
+  return acc / static_cast<double>(xs.size());
+}
+
+double mean_abs(std::span<const double> xs) {
+  ensure(!xs.empty(), "mean_abs: empty sample");
+  double acc = 0.0;
+  for (double x : xs) acc += std::abs(x);
+  return acc / static_cast<double>(xs.size());
+}
+
+double max_abs(std::span<const double> xs) {
+  double acc = 0.0;
+  for (double x : xs) acc = std::max(acc, std::abs(x));
+  return acc;
+}
+
+double fraction_below(std::span<const double> xs, double threshold) {
+  ensure(!xs.empty(), "fraction_below: empty sample");
+  std::size_t count = 0;
+  for (double x : xs) {
+    if (std::abs(x) < threshold) ++count;
+  }
+  return static_cast<double>(count) / static_cast<double>(xs.size());
+}
+
+}  // namespace rlceff::util

@@ -1,0 +1,22 @@
+// Error statistics used by the experiment harness (Fig 7 / Table 1 style
+// summaries: average |error|, fraction of cases under a threshold).
+#ifndef RLCEFF_UTIL_STATS_H
+#define RLCEFF_UTIL_STATS_H
+
+#include <span>
+
+namespace rlceff::util {
+
+// Signed relative error (model - reference) / reference, as a fraction.
+double relative_error(double model, double reference);
+
+double mean(std::span<const double> xs);
+double mean_abs(std::span<const double> xs);
+double max_abs(std::span<const double> xs);
+
+// Fraction of |xs[i]| strictly below threshold.
+double fraction_below(std::span<const double> xs, double threshold);
+
+}  // namespace rlceff::util
+
+#endif  // RLCEFF_UTIL_STATS_H

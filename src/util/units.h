@@ -1,0 +1,40 @@
+// Unit constants and conversions.
+//
+// The library works in SI base units throughout (seconds, volts, amperes,
+// ohms, farads, henries, meters).  These constants make call sites read like
+// the paper: `5.0 * units::mm`, `72.44 * units::ohm`, `100.0 * units::ps`.
+#ifndef RLCEFF_UTIL_UNITS_H
+#define RLCEFF_UTIL_UNITS_H
+
+namespace rlceff::units {
+
+// Time.
+inline constexpr double s = 1.0;
+inline constexpr double ms = 1e-3;
+inline constexpr double us = 1e-6;
+inline constexpr double ns = 1e-9;
+inline constexpr double ps = 1e-12;
+inline constexpr double fs = 1e-15;
+
+// Electrical.
+inline constexpr double volt = 1.0;
+inline constexpr double ampere = 1.0;
+inline constexpr double ohm = 1.0;
+inline constexpr double kohm = 1e3;
+inline constexpr double farad = 1.0;
+inline constexpr double pf = 1e-12;
+inline constexpr double ff = 1e-15;
+inline constexpr double henry = 1.0;
+inline constexpr double nh = 1e-9;
+inline constexpr double ph = 1e-12;
+
+// Geometry.
+inline constexpr double m = 1.0;
+inline constexpr double cm = 1e-2;
+inline constexpr double mm = 1e-3;
+inline constexpr double um = 1e-6;
+inline constexpr double nm = 1e-9;
+
+}  // namespace rlceff::units
+
+#endif  // RLCEFF_UTIL_UNITS_H

@@ -1,0 +1,101 @@
+#include "waveform/pwl.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace rlceff::wave {
+
+Pwl::Pwl(std::vector<std::pair<double, double>> points) : points_(std::move(points)) {
+  ensure(!points_.empty(), "Pwl: needs at least one point");
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    ensure(points_[i].first > points_[i - 1].first,
+           "Pwl: times must be strictly increasing");
+  }
+}
+
+double Pwl::value_at(double time) const {
+  ensure(!points_.empty(), "Pwl: empty");
+  if (time <= points_.front().first) return points_.front().second;
+  if (time >= points_.back().first) return points_.back().second;
+  const auto it = std::upper_bound(
+      points_.begin(), points_.end(), time,
+      [](double t, const std::pair<double, double>& p) { return t < p.first; });
+  const auto hi = it;
+  const auto lo = it - 1;
+  const double w = (time - lo->first) / (hi->first - lo->first);
+  return lo->second + w * (hi->second - lo->second);
+}
+
+double Pwl::start_time() const {
+  ensure(!points_.empty(), "Pwl: empty");
+  return points_.front().first;
+}
+
+double Pwl::end_time() const {
+  ensure(!points_.empty(), "Pwl: empty");
+  return points_.back().first;
+}
+
+double Pwl::final_value() const {
+  ensure(!points_.empty(), "Pwl: empty");
+  return points_.back().second;
+}
+
+Waveform Pwl::sample(double t_begin, double t_end, double dt) const {
+  ensure(t_end > t_begin && dt > 0.0, "Pwl::sample: bad range");
+  Waveform w;
+  const auto steps = static_cast<std::size_t>(std::ceil((t_end - t_begin) / dt));
+  for (std::size_t i = 0; i <= steps; ++i) {
+    const double t = std::min(t_begin + static_cast<double>(i) * dt, t_end);
+    w.append(t, value_at(t));
+    if (t >= t_end) break;
+  }
+  return w;
+}
+
+Waveform Pwl::to_waveform(double t_end) const {
+  ensure(!points_.empty(), "Pwl: empty");
+  Waveform w;
+  // Lead-in sample so crossings before the first breakpoint are well defined.
+  if (points_.front().first > 0.0) w.append(0.0, points_.front().second);
+  for (const auto& [t, v] : points_) {
+    if (w.empty() || t > w.time(w.size() - 1)) w.append(t, v);
+  }
+  if (t_end > w.time(w.size() - 1)) w.append(t_end, final_value());
+  return w;
+}
+
+Pwl ramp(double t0, double tr, double v0, double v1) {
+  ensure(tr > 0.0, "ramp: transition time must be positive");
+  return Pwl({{t0, v0}, {t0 + tr, v1}});
+}
+
+Pwl two_ramp(double t0, double f, double tr1, double tr2, double vdd) {
+  ensure(f > 0.0 && f < 1.0, "two_ramp: breakpoint fraction must lie in (0, 1)");
+  ensure(tr1 > 0.0 && tr2 > 0.0, "two_ramp: ramp times must be positive");
+  const double t_break = t0 + f * tr1;
+  const double t_final = t_break + (1.0 - f) * tr2;
+  return Pwl({{t0, 0.0}, {t_break, f * vdd}, {t_final, vdd}});
+}
+
+Pwl three_piece(double t0, double f, double tr1, double t_plateau, double tr2,
+                double vdd) {
+  ensure(f > 0.0 && f < 1.0, "three_piece: breakpoint fraction must lie in (0, 1)");
+  ensure(tr1 > 0.0 && tr2 > 0.0, "three_piece: ramp times must be positive");
+  ensure(t_plateau >= 0.0, "three_piece: plateau duration must be non-negative");
+  if (t_plateau == 0.0) return two_ramp(t0, f, tr1, tr2, vdd);
+  const double t_break = t0 + f * tr1;
+  const double t_resume = t_break + t_plateau;
+  const double t_final = t_resume + (1.0 - f) * tr2;
+  return Pwl({{t0, 0.0}, {t_break, f * vdd}, {t_resume, f * vdd}, {t_final, vdd}});
+}
+
+Pwl falling_from_rising(const Pwl& rising, double vdd) {
+  std::vector<std::pair<double, double>> pts = rising.points();
+  for (auto& [t, v] : pts) v = vdd - v;
+  return Pwl(std::move(pts));
+}
+
+}  // namespace rlceff::wave

@@ -1,0 +1,146 @@
+// Unit tests for netlist construction, deck builders, and MNA structure.
+#include "circuit/netlist.h"
+
+#include <gtest/gtest.h>
+
+#include "circuit/builders.h"
+#include "circuit/mna.h"
+#include "test_helpers.h"
+#include "util/error.h"
+
+namespace rlceff::ckt {
+namespace {
+
+TEST(Netlist, NamedNodesAreStable) {
+  Netlist nl;
+  const NodeId a = nl.node("a");
+  const NodeId b = nl.node("b");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a, nl.node("a"));
+  EXPECT_EQ(ground, nl.node("0"));
+  EXPECT_EQ(ground, nl.node("gnd"));
+}
+
+TEST(Netlist, DeviceValidation) {
+  Netlist nl;
+  const NodeId a = nl.node("a");
+  EXPECT_THROW(nl.add_resistor(a, ground, 0.0), Error);
+  EXPECT_THROW(nl.add_resistor(a, ground, -1.0), Error);
+  EXPECT_THROW(nl.add_inductor(a, ground, 0.0), Error);
+  EXPECT_THROW(nl.add_capacitor(a, ground, -1e-15), Error);
+  EXPECT_THROW(nl.add_resistor(a, 99, 1.0), Error);
+  // Zero capacitance is silently dropped, not an error.
+  nl.add_capacitor(a, ground, 0.0);
+  EXPECT_TRUE(nl.capacitors().empty());
+}
+
+TEST(Netlist, TotalCapacitanceSumsGroundedCaps) {
+  Netlist nl;
+  const NodeId a = nl.node("a");
+  const NodeId b = nl.node("b");
+  nl.add_capacitor(a, ground, 1e-12);
+  nl.add_capacitor(b, ground, 2e-12);
+  EXPECT_DOUBLE_EQ(3e-12, nl.total_capacitance());
+}
+
+TEST(Builders, LadderHasExpectedTotals) {
+  Netlist nl;
+  const NodeId in = nl.node("in");
+  const auto ladder = append_rlc_ladder(nl, in, 100.0, 5e-9, 1e-12, 10);
+
+  double r_total = 0.0;
+  for (const auto& r : nl.resistors()) r_total += r.resistance;
+  double l_total = 0.0;
+  for (const auto& l : nl.inductors()) l_total += l.inductance;
+  double c_total = 0.0;
+  for (const auto& c : nl.capacitors()) c_total += c.capacitance;
+
+  EXPECT_NEAR(100.0, r_total, 1e-9);
+  EXPECT_NEAR(5e-9, l_total, 1e-20);
+  EXPECT_NEAR(1e-12, c_total, 1e-24);
+  EXPECT_EQ(10u, nl.inductors().size());
+  EXPECT_NE(ladder.near_end, ladder.far_end);
+}
+
+TEST(Builders, LadderEndCapsAreHalfSegments) {
+  Netlist nl;
+  const NodeId in = nl.node("in");
+  const auto ladder = append_rlc_ladder(nl, in, 10.0, 1e-9, 1e-12, 4);
+  // First capacitor stamped is the near-end half segment.
+  EXPECT_EQ(in, nl.capacitors().front().a);
+  EXPECT_NEAR(1e-12 / 8.0, nl.capacitors().front().capacitance, 1e-27);
+  // Far-end node carries the final half segment.
+  const auto& last = nl.capacitors().back();
+  EXPECT_EQ(ladder.far_end, last.a);
+  EXPECT_NEAR(1e-12 / 8.0, last.capacitance, 1e-27);
+}
+
+TEST(Builders, PiLoad) {
+  Netlist nl;
+  const NodeId in = nl.node("in");
+  const NodeId far = append_pi_load(nl, in, 0.3e-12, 50.0, 0.5e-12);
+  EXPECT_NE(in, far);
+  EXPECT_EQ(1u, nl.resistors().size());
+  EXPECT_EQ(2u, nl.capacitors().size());
+}
+
+TEST(MnaStructure, CountsUnknowns) {
+  Netlist nl;
+  const NodeId a = nl.node("a");
+  const NodeId b = nl.node("b");
+  nl.add_vsource(a, ground, wave::Pwl({{0.0, 1.0}}));
+  nl.add_resistor(a, b, 10.0);
+  nl.add_inductor(b, ground, 1e-9);
+  const MnaStructure s(nl);
+  // Two node voltages + one source current + one inductor current.
+  EXPECT_EQ(4u, s.unknown_count());
+}
+
+TEST(MnaStructure, IndicesAreDistinctAndInRange) {
+  Netlist nl;
+  const NodeId in = nl.node("in");
+  nl.add_vsource(in, ground, wave::Pwl({{0.0, 1.0}}));
+  append_rlc_ladder(nl, in, 10.0, 1e-9, 1e-12, 5);
+  const MnaStructure s(nl);
+
+  std::vector<bool> used(s.unknown_count(), false);
+  for (NodeId n = 1; n < nl.node_count(); ++n) {
+    const std::size_t idx = s.node_index(n);
+    ASSERT_LT(idx, s.unknown_count());
+    EXPECT_FALSE(used[idx]);
+    used[idx] = true;
+  }
+  for (std::size_t k = 0; k < nl.vsources().size(); ++k) {
+    const std::size_t idx = s.vsource_index(k);
+    ASSERT_LT(idx, s.unknown_count());
+    EXPECT_FALSE(used[idx]);
+    used[idx] = true;
+  }
+  for (std::size_t k = 0; k < nl.inductors().size(); ++k) {
+    const std::size_t idx = s.inductor_index(k);
+    ASSERT_LT(idx, s.unknown_count());
+    EXPECT_FALSE(used[idx]);
+    used[idx] = true;
+  }
+}
+
+TEST(MnaStructure, LadderBandwidthIsSmallAfterRcm) {
+  Netlist nl;
+  const NodeId in = nl.node("in");
+  nl.add_vsource(in, ground, wave::Pwl({{0.0, 1.0}}));
+  append_rlc_ladder(nl, in, 100.0, 5e-9, 1e-12, 100);
+  const MnaStructure s(nl);
+  // A 100-segment RLC ladder has ~300 unknowns; RCM must keep the band tiny.
+  EXPECT_GT(s.unknown_count(), 300u);
+  EXPECT_LE(s.bandwidth(), 4u);
+}
+
+TEST(MnaStructure, GroundHasNoUnknown) {
+  Netlist nl;
+  nl.add_resistor(nl.node("a"), ground, 1.0);
+  const MnaStructure s(nl);
+  EXPECT_THROW(s.node_index(ground), Error);
+}
+
+}  // namespace
+}  // namespace rlceff::ckt

@@ -1,0 +1,34 @@
+// Shared helpers for the rlceff test suite.
+#ifndef RLCEFF_TESTS_TEST_HELPERS_H
+#define RLCEFF_TESTS_TEST_HELPERS_H
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+namespace rlceff::testing {
+
+// EXPECT that two values agree within a relative tolerance (absolute floor
+// for values near zero).
+inline void expect_rel_near(double expected, double actual, double rel_tol,
+                            double abs_floor = 1e-300) {
+  const double scale = std::max({std::abs(expected), std::abs(actual), abs_floor});
+  EXPECT_NEAR(expected, actual, rel_tol * scale)
+      << "expected " << expected << " vs actual " << actual;
+}
+
+// Deterministic RNG for property-style tests.
+inline std::mt19937& rng() {
+  static std::mt19937 gen(20030603);  // DAC'03 seed
+  return gen;
+}
+
+inline double uniform(double lo, double hi) {
+  std::uniform_real_distribution<double> d(lo, hi);
+  return d(rng());
+}
+
+}  // namespace rlceff::testing
+
+#endif  // RLCEFF_TESTS_TEST_HELPERS_H

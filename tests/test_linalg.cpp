@@ -1,0 +1,170 @@
+// Unit tests for dense/banded LU and RCM ordering.
+#include "util/linalg.h"
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.h"
+#include "util/error.h"
+#include "util/ordering.h"
+
+namespace rlceff::util {
+namespace {
+
+using rlceff::testing::expect_rel_near;
+using rlceff::testing::uniform;
+
+TEST(DenseLu, SolvesKnownSystem) {
+  DenseMatrix a(2, 2);
+  a(0, 0) = 2.0;
+  a(0, 1) = 1.0;
+  a(1, 0) = 1.0;
+  a(1, 1) = 3.0;
+  const std::vector<double> b{5.0, 10.0};
+  const auto x = solve_dense(a, b);
+  EXPECT_NEAR(1.0, x[0], 1e-12);
+  EXPECT_NEAR(3.0, x[1], 1e-12);
+}
+
+TEST(DenseLu, PivotsOnZeroDiagonal) {
+  DenseMatrix a(2, 2);
+  a(0, 0) = 0.0;
+  a(0, 1) = 1.0;
+  a(1, 0) = 1.0;
+  a(1, 1) = 0.0;
+  const std::vector<double> b{2.0, 3.0};
+  const auto x = solve_dense(a, b);
+  EXPECT_NEAR(3.0, x[0], 1e-12);
+  EXPECT_NEAR(2.0, x[1], 1e-12);
+}
+
+TEST(DenseLu, SingularThrows) {
+  DenseMatrix a(2, 2);
+  a(0, 0) = 1.0;
+  a(0, 1) = 2.0;
+  a(1, 0) = 2.0;
+  a(1, 1) = 4.0;
+  const std::vector<double> b{1.0, 2.0};
+  EXPECT_THROW(solve_dense(a, b), SingularMatrixError);
+}
+
+TEST(DenseLu, RandomSystemsResidualSmall) {
+  for (int trial = 0; trial < 25; ++trial) {
+    const std::size_t m = 3 + static_cast<std::size_t>(trial % 8);
+    DenseMatrix a(m, m);
+    for (std::size_t r = 0; r < m; ++r) {
+      for (std::size_t c = 0; c < m; ++c) a(r, c) = uniform(-1.0, 1.0);
+      a(r, r) += 3.0;  // diagonal dominance guarantees solvability
+    }
+    std::vector<double> x_true(m);
+    for (double& v : x_true) v = uniform(-2.0, 2.0);
+    std::vector<double> b(m, 0.0);
+    for (std::size_t r = 0; r < m; ++r) {
+      for (std::size_t c = 0; c < m; ++c) b[r] += a(r, c) * x_true[c];
+    }
+    const auto x = solve_dense(a, b);
+    for (std::size_t k = 0; k < m; ++k) EXPECT_NEAR(x_true[k], x[k], 1e-9);
+  }
+}
+
+TEST(BandedLu, MatchesDenseOnRandomBandedSystems) {
+  for (int trial = 0; trial < 25; ++trial) {
+    const std::size_t m = 6 + static_cast<std::size_t>(trial % 10);
+    const std::size_t bw = 1 + static_cast<std::size_t>(trial % 3);
+    DenseMatrix dense(m, m);
+    BandedMatrix banded(m, bw, bw);
+    for (std::size_t r = 0; r < m; ++r) {
+      for (std::size_t c = 0; c < m; ++c) {
+        const std::size_t dist = r > c ? r - c : c - r;
+        if (dist > bw) continue;
+        double v = uniform(-1.0, 1.0);
+        if (r == c) v += 3.0;
+        dense(r, c) = v;
+        banded.add(r, c, v);
+      }
+    }
+    std::vector<double> b(m);
+    for (double& v : b) v = uniform(-2.0, 2.0);
+    const auto x_dense = solve_dense(dense, b);
+    banded.factor();
+    const auto x_band = banded.solve(b);
+    for (std::size_t k = 0; k < m; ++k) EXPECT_NEAR(x_dense[k], x_band[k], 1e-9);
+  }
+}
+
+TEST(BandedLu, RejectsOutOfBandEntry) {
+  BandedMatrix a(5, 1, 1);
+  EXPECT_THROW(a.add(0, 3, 1.0), Error);
+}
+
+TEST(BandedLu, SingularThrows) {
+  BandedMatrix a(2, 1, 1);
+  a.add(0, 0, 1.0);
+  a.add(0, 1, 2.0);
+  a.add(1, 0, 2.0);
+  a.add(1, 1, 4.0);
+  EXPECT_THROW(a.factor(), SingularMatrixError);
+}
+
+TEST(BandedLu, PivotingWithinBandWorks) {
+  // Tridiagonal with a weak diagonal that forces row swaps.
+  const std::size_t m = 8;
+  BandedMatrix a(m, 1, 1);
+  DenseMatrix d(m, m);
+  for (std::size_t k = 0; k < m; ++k) {
+    const double diag = 1e-3;
+    a.add(k, k, diag);
+    d(k, k) = diag;
+    if (k + 1 < m) {
+      a.add(k, k + 1, 2.0);
+      a.add(k + 1, k, 1.5);
+      d(k, k + 1) = 2.0;
+      d(k + 1, k) = 1.5;
+    }
+  }
+  std::vector<double> b(m, 1.0);
+  a.factor();
+  const auto x_band = a.solve(b);
+  const auto x_dense = solve_dense(d, b);
+  for (std::size_t k = 0; k < m; ++k) expect_rel_near(x_dense[k], x_band[k], 1e-9);
+}
+
+TEST(Rcm, ReducesLadderBandwidthToOne) {
+  // A path graph numbered randomly should renumber to bandwidth 1.
+  const std::size_t m = 40;
+  std::vector<std::size_t> shuffle(m);
+  for (std::size_t k = 0; k < m; ++k) shuffle[k] = k;
+  for (std::size_t k = m; k-- > 1;) {
+    std::swap(shuffle[k], shuffle[static_cast<std::size_t>(
+                              rlceff::testing::uniform(0.0, static_cast<double>(k)))]);
+  }
+  SparsityGraph g(m);
+  for (std::size_t k = 0; k + 1 < m; ++k) g.add_edge(shuffle[k], shuffle[k + 1]);
+  const auto perm = reverse_cuthill_mckee(g);
+  EXPECT_EQ(1u, bandwidth(g, perm));
+}
+
+TEST(Rcm, PermutationIsBijective) {
+  SparsityGraph g(10);
+  g.add_edge(0, 5);
+  g.add_edge(5, 9);
+  g.add_edge(2, 3);
+  const auto perm = reverse_cuthill_mckee(g);
+  std::vector<bool> seen(perm.size(), false);
+  for (std::size_t p : perm) {
+    ASSERT_LT(p, perm.size());
+    EXPECT_FALSE(seen[p]);
+    seen[p] = true;
+  }
+}
+
+TEST(Rcm, StarGraphBandwidth) {
+  // A star graph's hub is adjacent to everything; the best achievable
+  // bandwidth is n - 2 (hub one position from an end) and RCM reaches it.
+  SparsityGraph g(6);
+  for (std::size_t k = 1; k < 6; ++k) g.add_edge(0, k);
+  const auto perm = reverse_cuthill_mckee(g);
+  EXPECT_EQ(4u, bandwidth(g, perm));
+}
+
+}  // namespace
+}  // namespace rlceff::util

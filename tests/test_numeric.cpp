@@ -1,0 +1,123 @@
+// Unit tests for quadrature, scalar solvers, and statistics helpers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "test_helpers.h"
+#include "util/error.h"
+#include "util/integrate.h"
+#include "util/solve.h"
+#include "util/stats.h"
+
+namespace rlceff::util {
+namespace {
+
+using rlceff::testing::expect_rel_near;
+
+TEST(Integrate, PolynomialIsNearExact) {
+  const double got = integrate([](double x) { return 3.0 * x * x; }, 0.0, 2.0);
+  EXPECT_NEAR(8.0, got, 1e-10);
+}
+
+TEST(Integrate, DampedExponential) {
+  const double got = integrate([](double x) { return std::exp(-x); }, 0.0, 10.0);
+  expect_rel_near(1.0 - std::exp(-10.0), got, 1e-9);
+}
+
+TEST(Integrate, OscillatoryDampedCosine) {
+  // integral of e^{-t} cos(5t) from 0 to 4: (a cos.. closed form)
+  const double a = 1.0;
+  const double b = 5.0;
+  auto antiderivative = [&](double t) {
+    return std::exp(-a * t) * (-a * std::cos(b * t) + b * std::sin(b * t)) /
+           (a * a + b * b);
+  };
+  const double expect = antiderivative(4.0) - antiderivative(0.0);
+  const double got = integrate([&](double t) { return std::exp(-t) * std::cos(5.0 * t); },
+                               0.0, 4.0);
+  expect_rel_near(expect, got, 1e-8);
+}
+
+TEST(Integrate, EmptyIntervalIsZero) {
+  EXPECT_DOUBLE_EQ(0.0, integrate([](double) { return 1.0; }, 1.0, 1.0));
+}
+
+TEST(Integrate, TinyTimescaleIntegrand) {
+  // Picosecond-scale windows like the Ceff integrals.
+  const double tau = 50e-12;
+  const double got =
+      integrate([&](double t) { return std::exp(-t / tau); }, 0.0, 200e-12);
+  expect_rel_near(tau * (1.0 - std::exp(-4.0)), got, 1e-9);
+}
+
+TEST(Brent, FindsCosineRoot) {
+  const double root = brent([](double x) { return std::cos(x); }, 0.0, 3.0);
+  EXPECT_NEAR(M_PI / 2.0, root, 1e-10);
+}
+
+TEST(Brent, ThrowsWhenNotBracketed) {
+  EXPECT_THROW(brent([](double x) { return 1.0 + x * x; }, -1.0, 1.0), Error);
+}
+
+TEST(Brent, EndpointRoot) {
+  const double root = brent([](double x) { return x; }, 0.0, 1.0);
+  EXPECT_DOUBLE_EQ(0.0, root);
+}
+
+TEST(FixedPoint, ConvergesOnContraction) {
+  // x = cos(x) has the Dottie fixed point ~0.739085.
+  const auto r = fixed_point([](double x) { return std::cos(x); }, 1.0);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(0.7390851332151607, r.x, 1e-7);
+}
+
+TEST(FixedPoint, DampingStabilizesOscillation) {
+  // g(x) = -1.5 x + 2.5 diverges undamped (slope magnitude > 1) but the
+  // damped iteration converges to the fixed point x = 1.
+  FixedPointOptions opt;
+  opt.damping = 0.5;
+  opt.max_iter = 200;
+  const auto r = fixed_point([](double x) { return -1.5 * x + 2.5; }, 0.0, opt);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(1.0, r.x, 1e-6);
+}
+
+TEST(FixedPoint, RespectsClamps) {
+  FixedPointOptions opt;
+  opt.lower = 0.5;
+  opt.upper = 2.0;
+  const auto r = fixed_point([](double) { return 10.0; }, 1.0, opt);
+  EXPECT_TRUE(r.converged);
+  EXPECT_DOUBLE_EQ(2.0, r.x);
+}
+
+TEST(FixedPoint, ReportsNonConvergence) {
+  FixedPointOptions opt;
+  opt.max_iter = 5;
+  const auto r = fixed_point([](double x) { return x + 1.0; }, 0.0, opt);
+  EXPECT_FALSE(r.converged);
+  EXPECT_EQ(5, r.iterations);
+}
+
+TEST(Stats, RelativeErrorAndAggregates) {
+  EXPECT_NEAR(0.1, relative_error(1.1, 1.0), 1e-12);
+  EXPECT_DOUBLE_EQ(-0.5, relative_error(0.5, 1.0));
+  EXPECT_THROW(relative_error(1.0, 0.0), Error);
+
+  const std::vector<double> xs{0.02, -0.08, 0.04, -0.12};
+  EXPECT_NEAR(-0.035, mean(xs), 1e-12);
+  EXPECT_NEAR(0.065, mean_abs(xs), 1e-12);
+  EXPECT_NEAR(0.12, max_abs(xs), 1e-12);
+  EXPECT_NEAR(0.5, fraction_below(xs, 0.05), 1e-12);
+  EXPECT_NEAR(0.75, fraction_below(xs, 0.1), 1e-12);
+}
+
+TEST(Stats, EmptySampleThrows) {
+  const std::vector<double> empty;
+  EXPECT_THROW(mean(empty), Error);
+  EXPECT_THROW(mean_abs(empty), Error);
+  EXPECT_THROW(fraction_below(empty, 1.0), Error);
+}
+
+}  // namespace
+}  // namespace rlceff::util

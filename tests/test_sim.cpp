@@ -1,0 +1,273 @@
+// Physics validation of the transient simulator against closed forms.
+#include "sim/transient.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+#include "circuit/builders.h"
+#include "test_helpers.h"
+#include "util/error.h"
+#include "util/units.h"
+
+namespace rlceff::sim {
+namespace {
+
+using namespace rlceff::units;
+using ckt::ground;
+using ckt::Netlist;
+using ckt::NodeId;
+using rlceff::testing::expect_rel_near;
+
+TEST(DcOperatingPoint, ResistorDivider) {
+  Netlist nl;
+  const NodeId a = nl.node("a");
+  const NodeId mid = nl.node("mid");
+  nl.add_vsource(a, ground, wave::Pwl({{0.0, 3.0}}));
+  nl.add_resistor(a, mid, 1000.0);
+  nl.add_resistor(mid, ground, 2000.0);
+  const auto op = dc_operating_point(nl);
+  EXPECT_NEAR(3.0, op.node_voltage[a], 1e-8);
+  // gmin (1e-12 S) loads the divider by ~1e-9 V; tolerance allows for it.
+  EXPECT_NEAR(2.0, op.node_voltage[mid], 1e-8);
+  // Source current: 3 V over 3 kohm, flowing out of the positive terminal.
+  EXPECT_NEAR(-1e-3, op.vsource_current[0], 1e-9);
+}
+
+TEST(DcOperatingPoint, InductorIsShort) {
+  Netlist nl;
+  const NodeId a = nl.node("a");
+  const NodeId b = nl.node("b");
+  nl.add_vsource(a, ground, wave::Pwl({{0.0, 1.0}}));
+  nl.add_resistor(a, b, 100.0);
+  nl.add_inductor(b, ground, 1 * nh);
+  const auto op = dc_operating_point(nl);
+  EXPECT_NEAR(0.0, op.node_voltage[b], 1e-9);
+  EXPECT_NEAR(0.01, op.inductor_current[0], 1e-9);
+}
+
+TEST(Transient, RcStepResponseMatchesAnalytic) {
+  Netlist nl;
+  const NodeId in = nl.node("in");
+  const NodeId out = nl.node("out");
+  nl.add_vsource(in, ground, wave::Pwl({{0.0, 0.0}, {1e-15, 1.0}}));
+  nl.add_resistor(in, out, 1000.0);
+  nl.add_capacitor(out, ground, 1 * pf);  // tau = 1 ns
+
+  TransientOptions opt;
+  opt.t_stop = 4 * ns;
+  opt.dt = 2 * ps;
+  const std::array<NodeId, 1> probes{out};
+  const auto res = simulate(nl, opt, probes);
+  // The quasi-step source is unresolved by dt, which shifts the response by
+  // ~dt/2; the tolerance covers that first-step smear.
+  for (double t = 0.2 * ns; t <= 3.5 * ns; t += 0.4 * ns) {
+    const double expect = 1.0 - std::exp(-t / (1 * ns));
+    EXPECT_NEAR(expect, res.at(out).value_at(t), 2e-3) << "t=" << t;
+  }
+}
+
+TEST(Transient, BackwardEulerAlsoConverges) {
+  Netlist nl;
+  const NodeId in = nl.node("in");
+  const NodeId out = nl.node("out");
+  nl.add_vsource(in, ground, wave::Pwl({{0.0, 0.0}, {1e-15, 1.0}}));
+  nl.add_resistor(in, out, 1000.0);
+  nl.add_capacitor(out, ground, 1 * pf);
+
+  TransientOptions opt;
+  opt.t_stop = 2 * ns;
+  opt.dt = 1 * ps;
+  opt.integrator = Integrator::backward_euler;
+  const std::array<NodeId, 1> probes{out};
+  const auto res = simulate(nl, opt, probes);
+  const double expect = 1.0 - std::exp(-1.0);
+  EXPECT_NEAR(expect, res.at(out).value_at(1 * ns), 2e-3);
+}
+
+TEST(Transient, TrapezoidalIsSecondOrder) {
+  // Halving dt should shrink the error by ~4x.  The excitation must be
+  // resolved by the step (a ramp, not a quasi-step) or the first-step
+  // discontinuity error dominates and the observed order collapses to one.
+  auto rc_error = [](double dt) {
+    Netlist nl;
+    const NodeId in = nl.node("in");
+    const NodeId out = nl.node("out");
+    nl.add_vsource(in, ground, wave::Pwl({{0.0, 0.0}, {0.4 * ns, 1.0}}));
+    nl.add_resistor(in, out, 1000.0);
+    nl.add_capacitor(out, ground, 1 * pf);  // tau = 1 ns
+    TransientOptions opt;
+    opt.t_stop = 1.6 * ns;
+    opt.dt = dt;
+    const std::array<NodeId, 1> probes{out};
+    const auto res = simulate(nl, opt, probes);
+    // Saturated-ramp response: superposition of two infinite-ramp responses.
+    const double tau = 1 * ns;
+    const double tr = 0.4 * ns;
+    auto ramp_resp = [&](double t) {
+      return t <= 0.0 ? 0.0 : (t - tau * (1.0 - std::exp(-t / tau))) / tr;
+    };
+    double max_err = 0.0;
+    // Sample only at points both grids hit exactly, so linear interpolation
+    // of the recorded waveform does not pollute the measured order.
+    for (double t = 0.16 * ns; t <= 1.45 * ns; t += 0.16 * ns) {
+      const double expect = ramp_resp(t) - ramp_resp(t - tr);
+      max_err = std::max(max_err, std::abs(res.at(out).value_at(t) - expect));
+    }
+    return max_err;
+  };
+  const double coarse = rc_error(8 * ps);
+  const double fine = rc_error(4 * ps);
+  EXPECT_GT(coarse / fine, 3.0);
+  EXPECT_LT(coarse / fine, 5.5);
+}
+
+TEST(Transient, RcRampResponseMatchesAnalytic) {
+  // v_out for an infinite input ramp of slope m into RC:
+  // v(t) = m (t - tau (1 - e^{-t/tau})).
+  Netlist nl;
+  const NodeId in = nl.node("in");
+  const NodeId out = nl.node("out");
+  const double slope = 1.0 / (1 * ns);
+  nl.add_vsource(in, ground, wave::Pwl({{0.0, 0.0}, {10 * ns, 10.0}}));
+  nl.add_resistor(in, out, 500.0);
+  nl.add_capacitor(out, ground, 1 * pf);  // tau = 0.5 ns
+
+  TransientOptions opt;
+  opt.t_stop = 3 * ns;
+  opt.dt = 2 * ps;
+  const std::array<NodeId, 1> probes{out};
+  const auto res = simulate(nl, opt, probes);
+  const double tau = 0.5 * ns;
+  for (double t = 0.3 * ns; t <= 2.7 * ns; t += 0.6 * ns) {
+    const double expect = slope * (t - tau * (1.0 - std::exp(-t / tau)));
+    expect_rel_near(expect, res.at(out).value_at(t), 2e-3);
+  }
+}
+
+TEST(Transient, RlCurrentRiseMatchesAnalytic) {
+  Netlist nl;
+  const NodeId in = nl.node("in");
+  const NodeId mid = nl.node("mid");
+  nl.add_vsource(in, ground, wave::Pwl({{0.0, 0.0}, {1e-15, 1.0}}));
+  nl.add_resistor(in, mid, 50.0);
+  nl.add_inductor(mid, ground, 5 * nh);  // tau = L/R = 100 ps
+
+  TransientOptions opt;
+  opt.t_stop = 600 * ps;
+  opt.dt = 0.2 * ps;
+  const std::array<NodeId, 1> probes{mid};
+  const auto res = simulate(nl, opt, probes);
+  // v_mid = V e^{-t/tau} (voltage across the inductor decays).
+  const double tau = 100 * ps;
+  for (double t = 50 * ps; t <= 500 * ps; t += 90 * ps) {
+    const double expect = std::exp(-t / tau);
+    EXPECT_NEAR(expect, res.at(mid).value_at(t), 3e-3) << "t=" << t;
+  }
+}
+
+TEST(Transient, SeriesRlcUnderdampedMatchesAnalytic) {
+  // Series R-L-C driven by a step: classic underdamped capacitor voltage.
+  Netlist nl;
+  const NodeId in = nl.node("in");
+  const NodeId a = nl.node("a");
+  const NodeId out = nl.node("out");
+  const double r = 20.0;
+  const double l = 5 * nh;
+  const double c = 1 * pf;
+  nl.add_vsource(in, ground, wave::Pwl({{0.0, 0.0}, {1e-15, 1.0}}));
+  nl.add_resistor(in, a, r);
+  nl.add_inductor(a, out, l);
+  nl.add_capacitor(out, ground, c);
+
+  TransientOptions opt;
+  opt.t_stop = 1.2 * ns;
+  opt.dt = 0.1 * ps;
+  const std::array<NodeId, 1> probes{out};
+  const auto res = simulate(nl, opt, probes);
+
+  const double alpha = r / (2.0 * l);
+  const double w0 = 1.0 / std::sqrt(l * c);
+  ASSERT_GT(w0, alpha);  // underdamped setup
+  const double wd = std::sqrt(w0 * w0 - alpha * alpha);
+  for (double t = 50 * ps; t <= 1.1 * ns; t += 105 * ps) {
+    const double expect =
+        1.0 - std::exp(-alpha * t) * (std::cos(wd * t) + alpha / wd * std::sin(wd * t));
+    EXPECT_NEAR(expect, res.at(out).value_at(t), 5e-3) << "t=" << t;
+  }
+}
+
+TEST(Transient, MatchedLineShowsHalfStepAndFlightDelay) {
+  // Ideal step through Rs = Z0 into a low-loss line: the near end sits at
+  // ~V/2 and the far (open) end doubles to ~V after one time of flight.
+  Netlist nl;
+  const NodeId src = nl.node("src");
+  const NodeId in = nl.node("in");
+  const double l_total = 5 * nh;
+  const double c_total = 1 * pf;
+  const double z0 = std::sqrt(l_total / c_total);  // ~70.7 ohm
+  const double tf = std::sqrt(l_total * c_total);  // ~70.7 ps
+  nl.add_vsource(src, ground, wave::Pwl({{0.0, 0.0}, {1 * ps, 1.0}}));
+  nl.add_resistor(src, in, z0);
+  const auto line = ckt::append_rlc_ladder(nl, in, 1.0 /*almost lossless*/, l_total,
+                                           c_total, 160);
+
+  TransientOptions opt;
+  opt.t_stop = 500 * ps;
+  opt.dt = 0.1 * ps;
+  const std::array<NodeId, 2> probes{in, line.far_end};
+  const auto res = simulate(nl, opt, probes);
+
+  // Near end holds the divider level until the (absorbed) reflection.
+  EXPECT_NEAR(0.5, res.at(in).value_at(0.8 * tf), 0.03);
+  // Far end is quiet before the wave arrives...
+  EXPECT_NEAR(0.0, res.at(line.far_end).value_at(0.6 * tf), 0.02);
+  // ...and has doubled shortly after t_f.
+  EXPECT_NEAR(1.0, res.at(line.far_end).value_at(1.6 * tf), 0.06);
+  // Matched source: no second step at the near end.
+  EXPECT_NEAR(1.0, res.at(in).value_at(4.0 * tf), 0.05);
+}
+
+TEST(Transient, ChargeDeliveredMatchesCapacitor) {
+  // Integrate the source current of an RC charge-up: total charge = C*V.
+  Netlist nl;
+  const NodeId in = nl.node("in");
+  const NodeId out = nl.node("out");
+  nl.add_vsource(in, ground, wave::Pwl({{0.0, 0.0}, {1e-15, 1.0}}));
+  nl.add_resistor(in, out, 100.0);
+  nl.add_capacitor(out, ground, 2 * pf);
+
+  TransientOptions opt;
+  opt.t_stop = 5 * ns;
+  opt.dt = 1 * ps;
+  const std::array<NodeId, 2> probes{in, out};
+  const auto res = simulate(nl, opt, probes);
+  // Current through R = (v_in - v_out)/R; trapezoidal sum over samples.
+  const auto& win = res.at(in);
+  const auto& wout = res.at(out);
+  double q = 0.0;
+  for (std::size_t k = 1; k < win.size(); ++k) {
+    const double i1 = (win.value(k) - wout.value(k)) / 100.0;
+    const double i0 = (win.value(k - 1) - wout.value(k - 1)) / 100.0;
+    q += 0.5 * (i0 + i1) * (win.time(k) - win.time(k - 1));
+  }
+  expect_rel_near(2e-12, q, 1e-3);
+}
+
+TEST(Transient, ProbeValidation) {
+  Netlist nl;
+  const NodeId in = nl.node("in");
+  nl.add_vsource(in, ground, wave::Pwl({{0.0, 1.0}}));
+  nl.add_resistor(in, ground, 100.0);
+  TransientOptions opt;
+  opt.t_stop = 1 * ps;
+  opt.dt = 0.5 * ps;
+  const std::array<NodeId, 1> probes{in};
+  const auto res = simulate(nl, opt, probes);
+  EXPECT_NO_THROW(res.at(in));
+  EXPECT_THROW(res.at(42), Error);
+}
+
+}  // namespace
+}  // namespace rlceff::sim

@@ -1,0 +1,134 @@
+// Tests for the technology substrate: wire parasitic fits against all sixteen
+// printed paper cases, inverter sizing, and device calibration.
+#include "tech/wire.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/mosfet.h"
+#include "tech/inverter.h"
+#include "tech/technology.h"
+#include "test_helpers.h"
+#include "util/error.h"
+#include "util/units.h"
+
+namespace rlceff::tech {
+namespace {
+
+using namespace rlceff::units;
+using rlceff::testing::expect_rel_near;
+
+// The field-solver substitute must reproduce every printed (R, L, C) triple.
+class WireFitAgainstPaper : public ::testing::TestWithParam<PaperWireCase> {};
+
+TEST_P(WireFitAgainstPaper, ResistanceWithinHalfPercent) {
+  const PaperWireCase& c = GetParam();
+  const WireModel model;
+  const WireParasitics got =
+      model.extract({c.length_mm * mm, c.width_um * um});
+  expect_rel_near(c.parasitics.resistance, got.resistance, 0.005);
+}
+
+TEST_P(WireFitAgainstPaper, InductanceWithinTwoPercent) {
+  const PaperWireCase& c = GetParam();
+  const WireModel model;
+  const WireParasitics got = model.extract({c.length_mm * mm, c.width_um * um});
+  expect_rel_near(c.parasitics.inductance, got.inductance, 0.02);
+}
+
+TEST_P(WireFitAgainstPaper, CapacitanceWithinThreePercent) {
+  const PaperWireCase& c = GetParam();
+  const WireModel model;
+  const WireParasitics got = model.extract({c.length_mm * mm, c.width_um * um});
+  expect_rel_near(c.parasitics.capacitance, got.capacitance, 0.03);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSixteenCases, WireFitAgainstPaper,
+                         ::testing::ValuesIn(paper_wire_cases().begin(),
+                                             paper_wire_cases().end()),
+                         [](const ::testing::TestParamInfo<PaperWireCase>& info) {
+                           const auto& c = info.param;
+                           return std::to_string(static_cast<int>(c.length_mm)) + "mm_" +
+                                  std::to_string(static_cast<int>(c.width_um * 10.0)) +
+                                  "tenth_um";
+                         });
+
+TEST(WireModel, TrendsMatchPhysics) {
+  const WireModel m;
+  // Wider wire: lower R, lower L (log), higher C.
+  EXPECT_GT(m.resistance_per_meter(0.8 * um), m.resistance_per_meter(1.6 * um));
+  EXPECT_GT(m.inductance_per_meter(0.8 * um), m.inductance_per_meter(1.6 * um));
+  EXPECT_LT(m.capacitance_per_meter(0.8 * um), m.capacitance_per_meter(1.6 * um));
+}
+
+TEST(WireModel, ParasiticsScaleLinearlyWithLength) {
+  const WireModel m;
+  const WireParasitics a = m.extract({2 * mm, 1.6 * um});
+  const WireParasitics b = m.extract({4 * mm, 1.6 * um});
+  expect_rel_near(2.0 * a.resistance, b.resistance, 1e-12);
+  expect_rel_near(2.0 * a.inductance, b.inductance, 1e-12);
+  expect_rel_near(2.0 * a.capacitance, b.capacitance, 1e-12);
+}
+
+TEST(WireParasitics, Z0AndTimeOfFlight) {
+  const WireParasitics w{72.44, 5.14 * nh, 1.10 * pf};
+  EXPECT_NEAR(68.4, w.z0(), 0.1);
+  EXPECT_NEAR(75.2 * ps, w.time_of_flight(), 0.1 * ps);
+}
+
+TEST(WireParasitics, Z0RequiresLAndC) {
+  const WireParasitics w{100.0, 0.0, 1.0 * pf};
+  EXPECT_THROW(w.z0(), Error);
+}
+
+TEST(PaperCases, LookupByGeometry) {
+  const auto hit = find_paper_wire_case(5.0, 1.6);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_NEAR(72.44, hit->resistance, 1e-9);
+  EXPECT_FALSE(find_paper_wire_case(9.0, 1.6).has_value());
+}
+
+TEST(Technology, DeviceCalibrationTargets) {
+  const Technology t = Technology::cmos180();
+  // NMOS Idsat ~ 650 uA/um, PMOS ~ 280 uA/um at full drive.
+  const auto n = ckt::eval_nmos(t.nmos, 1 * um, t.vdd, t.vdd);
+  const auto p = ckt::eval_pmos(t.pmos, 1 * um, -t.vdd, -t.vdd);
+  EXPECT_NEAR(650e-6, n.id / (1.0 + t.nmos.lambda * t.vdd), 30e-6);
+  EXPECT_NEAR(280e-6, -p.id / (1.0 + t.pmos.lambda * t.vdd), 20e-6);
+}
+
+TEST(Inverter, PaperSizingFootnote) {
+  // Footnote 1: NMOS width = size * 0.36 um (2 * Lmin), PMOS twice as wide.
+  const Technology t = Technology::cmos180();
+  const Inverter inv{75.0};
+  expect_rel_near(27.0 * um, inv.nmos_width(t), 1e-12);
+  expect_rel_near(54.0 * um, inv.pmos_width(t), 1e-12);
+  EXPECT_GT(inv.input_capacitance(t), 100 * ff);
+  EXPECT_LT(inv.input_capacitance(t), 250 * ff);
+}
+
+TEST(Inverter, InstanceAddsDevicesAndParasitics) {
+  const Technology t = Technology::cmos180();
+  ckt::Netlist nl;
+  const auto in = nl.node("in");
+  const auto out = nl.node("out");
+  const auto inst = add_inverter(nl, t, Inverter{10.0}, in, out);
+  EXPECT_EQ(2u, nl.mosfets().size());
+  EXPECT_EQ(1u, nl.vsources().size());
+  EXPECT_EQ(3u, nl.capacitors().size());
+  EXPECT_EQ(in, inst.input);
+  EXPECT_EQ(out, inst.output);
+  EXPECT_FALSE(nl.mosfets()[0].is_pmos);
+  EXPECT_TRUE(nl.mosfets()[1].is_pmos);
+  expect_rel_near(2.0, nl.mosfets()[1].width / nl.mosfets()[0].width, 1e-12);
+}
+
+TEST(Inverter, RejectsNonPositiveSize) {
+  const Technology t = Technology::cmos180();
+  ckt::Netlist nl;
+  EXPECT_THROW(add_inverter(nl, t, Inverter{0.0}, nl.node("i"), nl.node("o")), Error);
+}
+
+}  // namespace
+}  // namespace rlceff::tech
