@@ -60,6 +60,38 @@ std::string pct(double fraction_error_percent) {
   return buf;
 }
 
+namespace {
+
+// Metric names are identifier-like and units are plain ASCII, so escaping
+// only needs to cover the JSON string specials.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+void write_bench_json(const std::string& path, const std::string& bench_name,
+                      const std::vector<BenchMetric>& metrics) {
+  std::ofstream out(path);
+  ensure(out.good(), "write_bench_json: cannot open output file");
+  out << "{\n  \"bench\": \"" << json_escape(bench_name) << "\",\n  \"metrics\": [";
+  for (std::size_t k = 0; k < metrics.size(); ++k) {
+    char value[64];
+    std::snprintf(value, sizeof value, "%.6g", metrics[k].value);
+    out << (k == 0 ? "" : ",") << "\n    {\"name\": \"" << json_escape(metrics[k].name)
+        << "\", \"value\": " << value << ", \"unit\": \""
+        << json_escape(metrics[k].unit) << "\"}";
+  }
+  out << "\n  ]\n}\n";
+  ensure(out.good(), "write_bench_json: write failed");
+}
+
 void ascii_plot(const std::vector<const wave::Waveform*>& series,
                 const std::vector<char>& glyphs, double t0, double t1, double v_max,
                 int width, int height) {

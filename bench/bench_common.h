@@ -38,6 +38,20 @@ core::ExperimentOptions sweep_fidelity();
 // "+4.4%"-style formatting.
 std::string pct(double fraction_error_percent);
 
+// One machine-readable performance number (e.g. ns/step of the transient
+// engine).  Benches emit these as BENCH_*.json files so the perf trajectory
+// can be tracked across commits.
+struct BenchMetric {
+  std::string name;
+  double value = 0.0;
+  std::string unit;
+};
+
+// Writes {"bench": <name>, "metrics": [{"name", "value", "unit"}...]} to
+// `path`; throws Error when the file cannot be written.
+void write_bench_json(const std::string& path, const std::string& bench_name,
+                      const std::vector<BenchMetric>& metrics);
+
 // ASCII chart of one or more waveforms over [t0, t1] (voltages 0..v_max).
 // Series are drawn with the given glyphs; later series overwrite earlier.
 void ascii_plot(const std::vector<const wave::Waveform*>& series,

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "sim/sweep.h"
 #include "tech/wire.h"
 #include "util/stats.h"
 
@@ -95,25 +96,43 @@ int main() {
               "(paper: 165)\n",
               total, inductive.size());
 
-  // Phase 2: simulate the inductive cases and collect model-vs-sim points.
+  // Phase 2: simulate the inductive cases on the sweep pool and aggregate
+  // the deterministically-ordered results serially.  The parallel workers
+  // must never characterize (CellLibrary::ensure_driver mutates the shared
+  // library), so enforce that screening left every size cached.
+  for (double size : sizes) {
+    if (bench::library().find(size) == nullptr) {
+      std::fprintf(stderr, "fig7: %gX driver missing from library before the "
+                           "parallel sweep\n", size);
+      return 1;
+    }
+  }
+  struct CaseMetrics {
+    core::EdgeMetrics ref;
+    core::EdgeMetrics model;
+  };
+  std::printf("# simulating %zu cases on %u threads\n", inductive.size(),
+              sim::sweep_worker_count(inductive.size(), 0));
+  std::fflush(stdout);
+  const std::vector<CaseMetrics> metrics = sim::run_sweep(
+      inductive, [&](const Candidate& cand) -> CaseMetrics {
+        const auto r = core::run_experiment(bench::technology(), bench::library(),
+                                            cand.scenario, opt);
+        return {r.ref_near, r.model_near};
+      });
+
   std::vector<std::pair<double, double>> delay_pts, slew_pts;
   std::vector<double> delay_errs, slew_errs;
   std::vector<double> delay_errs_core, slew_errs_core;  // paper's sub-region
-  std::size_t done = 0;
-  for (const Candidate& cand : inductive) {
-    const auto r =
-        core::run_experiment(bench::technology(), bench::library(), cand.scenario, opt);
-    delay_pts.emplace_back(r.ref_near.delay, r.model_near.delay);
-    slew_pts.emplace_back(r.ref_near.slew, r.model_near.slew);
-    delay_errs.push_back(core::pct_error(r.model_near.delay, r.ref_near.delay));
-    slew_errs.push_back(core::pct_error(r.model_near.slew, r.ref_near.slew));
-    if (cand.paper_region) {
+  for (std::size_t k = 0; k < inductive.size(); ++k) {
+    const CaseMetrics& m = metrics[k];
+    delay_pts.emplace_back(m.ref.delay, m.model.delay);
+    slew_pts.emplace_back(m.ref.slew, m.model.slew);
+    delay_errs.push_back(core::pct_error(m.model.delay, m.ref.delay));
+    slew_errs.push_back(core::pct_error(m.model.slew, m.ref.slew));
+    if (inductive[k].paper_region) {
       delay_errs_core.push_back(delay_errs.back());
       slew_errs_core.push_back(slew_errs.back());
-    }
-    if (++done % 25 == 0) {
-      std::printf("# simulated %zu / %zu cases\n", done, inductive.size());
-      std::fflush(stdout);
     }
   }
 

@@ -4,12 +4,19 @@
 // transient simulation it replaces.
 #include <benchmark/benchmark.h>
 
+#include <array>
+#include <chrono>
+#include <cstring>
+
 #include "bench_common.h"
+#include "circuit/builders.h"
+#include "circuit/mna.h"
 #include "core/ceff.h"
 #include "core/charge.h"
 #include "core/driver_model.h"
 #include "moments/admittance.h"
 #include "moments/awe.h"
+#include "sim/transient.h"
 #include "tech/testbench.h"
 #include "tech/wire.h"
 
@@ -21,6 +28,80 @@ namespace {
 const tech::WireParasitics& wire() {
   static const tech::WireParasitics w = *tech::find_paper_wire_case(5.0, 1.6);
   return w;
+}
+
+// ------------------------------------------------------------------------
+// Factor-once transient engine numbers (BENCH_perf.json).
+//
+// The linear RLC line is the paper's "HSPICE" reference deck with the driver
+// replaced by an ideal ramp: a purely linear circuit, so the cached engine
+// factors its companion matrix once per run while the naive engine rebuilds
+// and refactors it on every step (the pre-refactor behavior).
+
+struct TransientTiming {
+  double ns_per_step = 0.0;
+  double steps_per_s = 0.0;
+  std::size_t steps = 0;
+  std::size_t unknowns = 0;
+};
+
+TransientTiming time_linear_line(sim::AssemblyMode mode) {
+  ckt::Netlist nl;
+  const ckt::NodeId src = nl.node("src");
+  nl.add_vsource(src, ckt::ground, wave::Pwl({{10 * ps, 0.0}, {110 * ps, 1.8}}));
+  const ckt::LadderNodes line = ckt::append_rlc_ladder(
+      nl, src, wire().resistance, wire().inductance, wire().capacitance, 120);
+  nl.add_capacitor(line.far_end, ckt::ground, 20 * ff);
+
+  sim::TransientOptions opt;
+  opt.t_stop = 1.0 * ns;
+  opt.dt = 0.25 * ps;
+  opt.assembly = mode;
+  const std::array<ckt::NodeId, 1> probes{line.far_end};
+
+  TransientTiming timing;
+  timing.steps = static_cast<std::size_t>(opt.t_stop / opt.dt);
+  timing.unknowns = ckt::MnaStructure(nl).unknown_count();
+
+  using clock = std::chrono::steady_clock;
+  double best_s = 1e300;
+  (void)sim::simulate(nl, opt, probes);  // warm-up
+  for (int rep = 0; rep < 5; ++rep) {
+    const auto t0 = clock::now();
+    const auto res = sim::simulate(nl, opt, probes);
+    const auto t1 = clock::now();
+    benchmark::DoNotOptimize(res.at(line.far_end).size());
+    best_s = std::min(best_s, std::chrono::duration<double>(t1 - t0).count());
+  }
+  timing.ns_per_step = best_s * 1e9 / static_cast<double>(timing.steps);
+  timing.steps_per_s = static_cast<double>(timing.steps) / best_s;
+  return timing;
+}
+
+void emit_perf_json() {
+  const TransientTiming cached = time_linear_line(sim::AssemblyMode::cached);
+  const TransientTiming naive = time_linear_line(sim::AssemblyMode::naive);
+  const double speedup = naive.ns_per_step / cached.ns_per_step;
+
+  bench::write_bench_json(
+      "BENCH_perf.json", "perf_model_vs_spice",
+      {{"linear_line_unknowns", static_cast<double>(cached.unknowns), "count"},
+       {"linear_line_steps", static_cast<double>(cached.steps), "count"},
+       {"linear_line_cached_ns_per_step", cached.ns_per_step, "ns/step"},
+       {"linear_line_cached_steps_per_s", cached.steps_per_s, "steps/s"},
+       {"linear_line_naive_ns_per_step", naive.ns_per_step, "ns/step"},
+       {"linear_line_naive_steps_per_s", naive.steps_per_s, "steps/s"},
+       {"linear_line_factor_once_speedup", speedup, "x"}});
+
+  std::printf("== factor-once transient engine (120-segment RLC line, %zu unknowns, "
+              "%zu steps) ==\n",
+              cached.unknowns, cached.steps);
+  std::printf("  cached (factor once):      %8.1f ns/step  %10.0f steps/s\n",
+              cached.ns_per_step, cached.steps_per_s);
+  std::printf("  naive (refactor per step): %8.1f ns/step  %10.0f steps/s\n",
+              naive.ns_per_step, naive.steps_per_s);
+  std::printf("  speedup: %.2fx  (written to BENCH_perf.json)\n\n", speedup);
+  std::fflush(stdout);
 }
 
 void bm_moment_fit(benchmark::State& state) {
@@ -98,6 +179,12 @@ BENCHMARK(bm_far_end_replay_sim)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  emit_perf_json();
+  // --perf-json-only: stop after the engine numbers (used by CI, which does
+  // not want to characterize a library).
+  for (int k = 1; k < argc; ++k) {
+    if (std::strcmp(argv[k], "--perf-json-only") == 0) return 0;
+  }
   bench::warm_library({100.0});
   ::benchmark::Initialize(&argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();

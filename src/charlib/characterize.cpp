@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "sim/sweep.h"
 #include "util/error.h"
 #include "util/units.h"
 
@@ -54,30 +55,33 @@ CharacterizedDriver characterize_driver(const tech::Technology& technology,
   // Rough RC estimate used only to size the simulation horizon.
   const double rs_estimate = 3.7e3 / cell.size;
 
-  for (std::size_t i = 0; i < n_slew; ++i) {
-    for (std::size_t j = 0; j < n_load; ++j) {
-      const double slew = grid.input_slews[i];
-      const double c_load = grid.loads[j];
+  // Every grid point is an independent deck; run them on the sweep pool.
+  sim::run_indexed_sweep(
+      n_slew * n_load,
+      [&](std::size_t k) {
+        const double slew = grid.input_slews[k / n_load];
+        const double c_load = grid.loads[k % n_load];
 
-      tech::DeckOptions deck;
-      deck.t_start = 10 * ps;
-      const double settle = 6.0 * rs_estimate * (c_load + cell.output_capacitance(technology));
-      deck.t_stop = deck.t_start + slew + std::max(300 * ps, settle);
-      deck.dt = 0.25 * ps;
+        tech::DeckOptions deck;
+        deck.t_start = 10 * ps;
+        const double settle =
+            6.0 * rs_estimate * (c_load + cell.output_capacitance(technology));
+        deck.t_stop = deck.t_start + slew + std::max(300 * ps, settle);
+        deck.dt = 0.25 * ps;
 
-      double input_t50 = 0.0;
-      const wave::Waveform out = tech::simulate_driver_cap_load(
-          technology, cell, slew, c_load, deck, &input_t50);
-      const wave::EdgeTiming edge = wave::measure_rising_edge(out, 0.0, technology.vdd);
+        double input_t50 = 0.0;
+        const wave::Waveform out = tech::simulate_driver_cap_load(
+            technology, cell, slew, c_load, deck, &input_t50);
+        const wave::EdgeTiming edge =
+            wave::measure_rising_edge(out, 0.0, technology.vdd);
 
-      const std::size_t k = i * n_load + j;
-      delay_vals[k] = edge.t50 - input_t50;
-      tran_vals[k] = edge.ramp_transition();
-      // Thevenin fit of ref [3]: v(t) = Vdd * (1 - exp(-t / Rs C)) between
-      // the 50 % and 90 % crossings gives t90 - t50 = Rs C ln 5.
-      rs_vals[k] = (edge.t90 - edge.t50) / (c_load * std::log(5.0));
-    }
-  }
+        delay_vals[k] = edge.t50 - input_t50;
+        tran_vals[k] = edge.ramp_transition();
+        // Thevenin fit of ref [3]: v(t) = Vdd * (1 - exp(-t / Rs C)) between
+        // the 50 % and 90 % crossings gives t90 - t50 = Rs C ln 5.
+        rs_vals[k] = (edge.t90 - edge.t50) / (c_load * std::log(5.0));
+      },
+      grid.n_threads);
 
   Table2D delay(grid.input_slews, grid.loads, std::move(delay_vals));
   Table2D transition(grid.input_slews, grid.loads, std::move(tran_vals));

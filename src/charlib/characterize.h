@@ -25,6 +25,9 @@ namespace rlceff::charlib {
 struct CharacterizationGrid {
   std::vector<double> input_slews;  // full-swing input ramp times [s]
   std::vector<double> loads;        // load capacitances [F]
+  // Worker threads for the grid's independent simulations (0 = one per
+  // hardware thread); results are identical for every thread count.
+  unsigned n_threads = 0;
 
   // Covers the paper's sweeps: slews 25-300 ps, loads 30 fF - 2.6 pF.
   static CharacterizationGrid standard();

@@ -1,0 +1,63 @@
+#include "sim/sweep.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace rlceff::sim {
+
+unsigned sweep_worker_count(std::size_t n_tasks, unsigned n_threads) {
+  if (n_tasks == 0) return 0;
+  if (n_threads == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    n_threads = hw != 0 ? hw : 1;
+  }
+  return static_cast<unsigned>(
+      std::min<std::size_t>(n_threads, n_tasks));
+}
+
+void run_indexed_sweep(std::size_t n_tasks,
+                       const std::function<void(std::size_t)>& task,
+                       unsigned n_threads) {
+  const unsigned workers = sweep_worker_count(n_tasks, n_threads);
+  if (workers == 0) return;
+
+  std::atomic<std::size_t> next{0};
+  std::mutex failure_mutex;
+  std::size_t failed_index = n_tasks;
+  std::exception_ptr failure;
+
+  // Work-stealing over an atomic cursor; every index is attempted even after
+  // a failure so the rethrown (lowest-index) exception does not depend on
+  // scheduling.
+  auto drain = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n_tasks) return;
+      try {
+        task(i);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(failure_mutex);
+        if (i < failed_index) {
+          failed_index = i;
+          failure = std::current_exception();
+        }
+      }
+    }
+  };
+
+  if (workers == 1) {
+    drain();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w) pool.emplace_back(drain);
+    for (std::thread& worker : pool) worker.join();
+  }
+
+  if (failure) std::rethrow_exception(failure);
+}
+
+}  // namespace rlceff::sim

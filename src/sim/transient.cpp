@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <memory>
+#include <optional>
 
 #include "circuit/mna.h"
 #include "util/error.h"
@@ -18,12 +20,23 @@ using ckt::Netlist;
 using ckt::NodeId;
 
 // Uniform interface over the banded and dense factorizations.
+//
+// The engine assembles into a "working" matrix.  save_static()/load_static()
+// snapshot and restore the working values (a memcpy, never an allocation),
+// so the linear-device stamps survive across Newton iterations and time
+// steps.  factor() destroys the working values in place; solve_into() then
+// runs the substitution sweeps on a caller-owned buffer with zero heap
+// traffic.
 class LinearSolver {
 public:
   virtual ~LinearSolver() = default;
   virtual void clear() = 0;
   virtual void add(std::size_t r, std::size_t c, double v) = 0;
-  virtual std::vector<double> solve(std::span<const double> rhs) = 0;
+  virtual void save_static() = 0;
+  virtual void load_static() = 0;
+  virtual void factor() = 0;
+  // x holds the rhs on entry and the solution on exit.
+  virtual void solve_into(std::span<double> x) = 0;
 };
 
 class BandedSolver final : public LinearSolver {
@@ -31,16 +44,20 @@ public:
   BandedSolver(std::size_t n, std::size_t bw) : n_(n), bw_(bw), a_(n, bw, bw) {}
   void clear() override { a_.set_zero(); }
   void add(std::size_t r, std::size_t c, double v) override { a_.add(r, c, v); }
-  std::vector<double> solve(std::span<const double> rhs) override {
-    util::BandedMatrix work = a_;
-    work.factor();
-    return work.solve(rhs);
+  void save_static() override {
+    // Lazy: only the nonlinear cached path pays for the second matrix.
+    if (!static_image_) static_image_.emplace(n_, bw_, bw_);
+    static_image_->copy_values_from(a_);
   }
+  void load_static() override { a_.copy_values_from(*static_image_); }
+  void factor() override { a_.factor(); }
+  void solve_into(std::span<double> x) override { a_.solve_into(x); }
 
 private:
   std::size_t n_;
   std::size_t bw_;
   util::BandedMatrix a_;
+  std::optional<util::BandedMatrix> static_image_;
 };
 
 class DenseSolver final : public LinearSolver {
@@ -48,12 +65,15 @@ public:
   explicit DenseSolver(std::size_t n) : a_(n, n) {}
   void clear() override { a_.set_zero(); }
   void add(std::size_t r, std::size_t c, double v) override { a_(r, c) += v; }
-  std::vector<double> solve(std::span<const double> rhs) override {
-    return util::solve_dense(a_, rhs);
-  }
+  void save_static() override { static_image_ = a_; }
+  void load_static() override { a_ = static_image_; }
+  void factor() override { util::lu_factor_into(a_, f_); }
+  void solve_into(std::span<double> x) override { util::lu_solve_into(f_, x); }
 
 private:
   util::DenseMatrix a_;
+  util::DenseMatrix static_image_;
+  util::LuFactors f_;
 };
 
 std::unique_ptr<LinearSolver> make_solver(std::size_t n, std::size_t bw) {
@@ -84,37 +104,131 @@ public:
         opt_(options),
         structure_(netlist),
         m_(structure_.unknown_count()),
+        linear_(netlist.mosfets().empty()),
+        cached_(options.assembly == AssemblyMode::cached),
         solver_(make_solver(m_, structure_.bandwidth())),
-        rhs_(m_, 0.0) {}
+        rhs_(m_, 0.0),
+        x_(m_, 0.0),
+        x_new_(m_, 0.0) {
+    // Resolve every unknown index once so the per-step loops are pure array
+    // indexing (node_index() revalidates its arguments on every call).
+    node_pos_.resize(nl_.node_count(), npos);
+    for (NodeId n = 1; n < nl_.node_count(); ++n) {
+      node_pos_[n] = structure_.node_index(n);
+    }
+    cap_pos_.reserve(nl_.capacitors().size());
+    for (const ckt::Capacitor& c : nl_.capacitors()) {
+      cap_pos_.push_back({c.a == ground ? npos : node_pos_[c.a],
+                          c.b == ground ? npos : node_pos_[c.b]});
+    }
+    ind_pos_.resize(nl_.inductors().size());
+    for (std::size_t k = 0; k < nl_.inductors().size(); ++k) {
+      ind_pos_[k] = structure_.inductor_index(k);
+    }
+    vsrc_pos_.resize(nl_.vsources().size());
+    for (std::size_t k = 0; k < nl_.vsources().size(); ++k) {
+      vsrc_pos_[k] = structure_.vsource_index(k);
+    }
+    mos_pos_.reserve(nl_.mosfets().size());
+    for (const ckt::Mosfet& mos : nl_.mosfets()) {
+      mos_pos_.push_back({mos.drain == ground ? npos : node_pos_[mos.drain],
+                          mos.gate == ground ? npos : node_pos_[mos.gate],
+                          mos.source == ground ? npos : node_pos_[mos.source]});
+    }
+  }
 
   const MnaStructure& structure() const { return structure_; }
 
-  double voltage(std::span<const double> x, NodeId n) const {
-    return n == ground ? 0.0 : x[structure_.node_index(n)];
+  std::span<const double> solution() const { return x_; }
+
+  double voltage(NodeId n) const { return n == ground ? 0.0 : x_[node_pos_[n]]; }
+
+  double inductor_current(std::size_t k) const { return x_[ind_pos_[k]]; }
+
+  // Copies the node-voltage part of the solution into `out` (indexed by
+  // NodeId, ground stays 0); used by the recording loop without re-resolving
+  // unknown indices.
+  void node_voltages_into(std::span<double> out) const {
+    for (NodeId n = 1; n < nl_.node_count(); ++n) out[n] = x_[node_pos_[n]];
   }
 
   // Solves one (DC or companion-model) nonlinear system at time `t` with
-  // step `h` (h <= 0 selects DC: capacitors open, inductors shorted).
-  std::vector<double> newton(double t, double h, const DynamicState& state,
-                             std::vector<double> x, double gmin) {
-    const bool linear = nl_.mosfets().empty();
+  // step `h` (h <= 0 selects DC: capacitors open, inductors shorted) and
+  // leaves the solution in x_ (also the initial Newton guess).
+  void newton(double t, double h, const DynamicState& state, double gmin) {
+    if (linear_ && cached_) {
+      // Factor-once fast path: the companion matrix depends only on (h, gmin),
+      // so a whole fixed-step run is one factorization plus a substitution
+      // sweep per step.  Nothing in here allocates.
+      ensure_factored(h, gmin);
+      assemble_rhs(t, h, state);
+      solver_->solve_into(rhs_);
+      std::swap(x_, rhs_);
+      return;
+    }
+
+    if (cached_) ensure_static(h, gmin);
     for (int iter = 0; iter < opt_.max_newton; ++iter) {
-      assemble(t, h, state, x, gmin);
-      std::vector<double> x_new = solver_->solve(rhs_);
-      if (linear) return x_new;
+      if (cached_) {
+        // Restore the linear stamps by memcpy; only the MOSFET entries and
+        // the RHS are re-stamped below.
+        solver_->load_static();
+      } else {
+        solver_->clear();
+        assemble_static_stamps(h, gmin);
+      }
+      assemble_rhs(t, h, state);
+      stamp_mosfets();
+      solver_->factor();
+      std::copy(rhs_.begin(), rhs_.end(), x_new_.begin());
+      solver_->solve_into(x_new_);
+      if (linear_) {
+        std::swap(x_, x_new_);
+        return;
+      }
 
       double max_dv = 0.0;
-      for (std::size_t k = 0; k < m_; ++k) max_dv = std::max(max_dv, std::abs(x_new[k] - x[k]));
-      if (max_dv < opt_.v_abstol + opt_.rel_tol * 1.0) return x_new;
+      for (std::size_t k = 0; k < m_; ++k) {
+        max_dv = std::max(max_dv, std::abs(x_new_[k] - x_[k]));
+      }
+      if (max_dv < opt_.v_abstol + opt_.rel_tol * 1.0) {
+        std::swap(x_, x_new_);
+        return;
+      }
 
       // Damped update keeps the MOSFET linearization inside its trust region.
       const double scale = std::min(1.0, opt_.newton_damping_v / max_dv);
-      for (std::size_t k = 0; k < m_; ++k) x[k] += scale * (x_new[k] - x[k]);
+      for (std::size_t k = 0; k < m_; ++k) x_[k] += scale * (x_new_[k] - x_[k]);
     }
     throw ConvergenceError("transient: Newton failed to converge");
   }
 
 private:
+  // Re-assembles (and for linear circuits factors) the static matrix only
+  // when the step size or gmin changed: once for DC, once for the regular
+  // step, and once more for a shortened final step.
+  void ensure_factored(double h, double gmin) {
+    if (factored_valid_ && h == static_h_ && gmin == static_gmin_) return;
+    solver_->clear();
+    assemble_static_stamps(h, gmin);
+    solver_->factor();
+    factored_valid_ = true;
+    static_valid_ = false;
+    static_h_ = h;
+    static_gmin_ = gmin;
+  }
+
+  void ensure_static(double h, double gmin) {
+    if (static_valid_ && h == static_h_ && gmin == static_gmin_) return;
+    solver_->clear();
+    assemble_static_stamps(h, gmin);
+    solver_->save_static();
+    static_valid_ = true;
+    factored_valid_ = false;
+    static_h_ = h;
+    static_gmin_ = gmin;
+  }
+
   void stamp_conductance(NodeId a, NodeId b, double g) {
     if (a != ground) {
       const std::size_t ia = structure_.node_index(a);
@@ -128,16 +242,10 @@ private:
     }
   }
 
-  void stamp_current(NodeId from, NodeId to, double i) {
-    // Current i flows from `from` into `to` through the device.
-    if (from != ground) rhs_[structure_.node_index(from)] -= i;
-    if (to != ground) rhs_[structure_.node_index(to)] += i;
-  }
-
-  void assemble(double t, double h, const DynamicState& state,
-                std::span<const double> x, double gmin) {
-    solver_->clear();
-    std::fill(rhs_.begin(), rhs_.end(), 0.0);
+  // Matrix entries that depend only on (h, gmin): gmin loading, resistors,
+  // companion conductances, and the branch incidence rows of inductors and
+  // voltage sources.
+  void assemble_static_stamps(double h, double gmin) {
     const bool dc = h <= 0.0;
     const bool trap = opt_.integrator == Integrator::trapezoidal;
 
@@ -149,20 +257,14 @@ private:
       stamp_conductance(r.a, r.b, 1.0 / r.resistance);
     }
 
-    for (std::size_t k = 0; k < nl_.capacitors().size(); ++k) {
-      if (dc) break;
-      const ckt::Capacitor& c = nl_.capacitors()[k];
-      const CapacitorState& s = state.caps[k];
-      const double geq = (trap ? 2.0 : 1.0) * c.capacitance / h;
-      const double ieq = geq * s.v + (trap ? s.i : 0.0);
-      stamp_conductance(c.a, c.b, geq);
-      // Norton companion: device current = geq * v - ieq.
-      stamp_current(c.b, c.a, ieq);
+    if (!dc) {
+      for (const ckt::Capacitor& c : nl_.capacitors()) {
+        stamp_conductance(c.a, c.b, (trap ? 2.0 : 1.0) * c.capacitance / h);
+      }
     }
 
     for (std::size_t k = 0; k < nl_.inductors().size(); ++k) {
       const ckt::Inductor& l = nl_.inductors()[k];
-      const InductorState& s = state.inds[k];
       const std::size_t j = structure_.inductor_index(k);
       const double req = dc ? 0.0 : (trap ? 2.0 : 1.0) * l.inductance / h;
       // Branch equation: (va - vb) - req * i = e_n.
@@ -175,7 +277,6 @@ private:
         solver_->add(structure_.node_index(l.b), j, -1.0);
       }
       solver_->add(j, j, -req);
-      rhs_[j] = dc ? 0.0 : (trap ? -s.v - req * s.i : -req * s.i);
     }
 
     for (std::size_t k = 0; k < nl_.vsources().size(); ++k) {
@@ -189,63 +290,129 @@ private:
         solver_->add(j, structure_.node_index(v.neg), -1.0);
         solver_->add(structure_.node_index(v.neg), j, -1.0);
       }
-      rhs_[j] = v.voltage.value_at(t);
+    }
+  }
+
+  // Right-hand side: companion currents and source values.  Changes every
+  // step, never touches the matrix.
+  void assemble_rhs(double t, double h, const DynamicState& state) {
+    std::fill(rhs_.begin(), rhs_.end(), 0.0);
+    const bool dc = h <= 0.0;
+    const bool trap = opt_.integrator == Integrator::trapezoidal;
+
+    if (!dc) {
+      for (std::size_t k = 0; k < nl_.capacitors().size(); ++k) {
+        const CapacitorState& s = state.caps[k];
+        const double geq = (trap ? 2.0 : 1.0) * nl_.capacitors()[k].capacitance / h;
+        const double ieq = geq * s.v + (trap ? s.i : 0.0);
+        // Norton companion: device current = geq * v - ieq, flowing b -> a.
+        const auto [ia, ib] = cap_pos_[k];
+        if (ib != npos) rhs_[ib] -= ieq;
+        if (ia != npos) rhs_[ia] += ieq;
+      }
     }
 
-    for (const ckt::Mosfet& mos : nl_.mosfets()) {
-      const double vd = voltage(x, mos.drain);
-      const double vg = voltage(x, mos.gate);
-      const double vs = voltage(x, mos.source);
+    for (std::size_t k = 0; k < nl_.inductors().size(); ++k) {
+      const InductorState& s = state.inds[k];
+      const double req = dc ? 0.0 : (trap ? 2.0 : 1.0) * nl_.inductors()[k].inductance / h;
+      rhs_[ind_pos_[k]] = dc ? 0.0 : (trap ? -s.v - req * s.i : -req * s.i);
+    }
+
+    for (std::size_t k = 0; k < nl_.vsources().size(); ++k) {
+      rhs_[vsrc_pos_[k]] = nl_.vsources()[k].voltage.value_at(t);
+    }
+  }
+
+  // MOSFET linearization around the current Newton iterate: the only stamps
+  // that change between iterations (matrix and RHS).
+  void stamp_mosfets() {
+    for (std::size_t k = 0; k < nl_.mosfets().size(); ++k) {
+      const ckt::Mosfet& mos = nl_.mosfets()[k];
+      const auto [pd, pg, ps] = mos_pos_[k];
+      const double vd = pd == npos ? 0.0 : x_[pd];
+      const double vg = pg == npos ? 0.0 : x_[pg];
+      const double vs = ps == npos ? 0.0 : x_[ps];
       const ckt::MosfetEval e =
           mos.is_pmos ? ckt::eval_pmos(mos.params, mos.width, vg - vs, vd - vs)
                       : ckt::eval_nmos(mos.params, mos.width, vg - vs, vd - vs);
       // Linearized channel current (drain -> source):
       //   i = ieq + gm * vgs + gds * vds.
       const double ieq = e.id - e.gm * (vg - vs) - e.gds * (vd - vs);
-      if (mos.drain != ground) {
-        const std::size_t id_ = structure_.node_index(mos.drain);
-        solver_->add(id_, id_, e.gds);
-        if (mos.gate != ground) solver_->add(id_, structure_.node_index(mos.gate), e.gm);
-        if (mos.source != ground) {
-          solver_->add(id_, structure_.node_index(mos.source), -(e.gm + e.gds));
-        }
+      if (pd != npos) {
+        solver_->add(pd, pd, e.gds);
+        if (pg != npos) solver_->add(pd, pg, e.gm);
+        if (ps != npos) solver_->add(pd, ps, -(e.gm + e.gds));
       }
-      if (mos.source != ground) {
-        const std::size_t is_ = structure_.node_index(mos.source);
-        solver_->add(is_, is_, e.gm + e.gds);
-        if (mos.gate != ground) solver_->add(is_, structure_.node_index(mos.gate), -e.gm);
-        if (mos.drain != ground) solver_->add(is_, structure_.node_index(mos.drain), -e.gds);
+      if (ps != npos) {
+        solver_->add(ps, ps, e.gm + e.gds);
+        if (pg != npos) solver_->add(ps, pg, -e.gm);
+        if (pd != npos) solver_->add(ps, pd, -e.gds);
       }
-      stamp_current(mos.drain, mos.source, ieq);
+      // Companion current flows drain -> source.
+      if (pd != npos) rhs_[pd] -= ieq;
+      if (ps != npos) rhs_[ps] += ieq;
     }
   }
+
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  struct CapPos {
+    std::size_t a;
+    std::size_t b;
+  };
+
+  struct MosPos {
+    std::size_t drain;
+    std::size_t gate;
+    std::size_t source;
+  };
 
   const Netlist& nl_;
   const TransientOptions& opt_;
   MnaStructure structure_;
   std::size_t m_;
+  bool linear_;
+  bool cached_;
   std::unique_ptr<LinearSolver> solver_;
+
+  // Unknown indices resolved once at construction (npos = ground).
+  std::vector<std::size_t> node_pos_;
+  std::vector<CapPos> cap_pos_;
+  std::vector<std::size_t> ind_pos_;
+  std::vector<std::size_t> vsrc_pos_;
+  std::vector<MosPos> mos_pos_;
+
+  // Preallocated workspaces: the time-step loop never allocates.
   std::vector<double> rhs_;
+  std::vector<double> x_;
+  std::vector<double> x_new_;
+
+  // Cache key of the static assembly currently held by the solver.
+  double static_h_ = std::numeric_limits<double>::quiet_NaN();
+  double static_gmin_ = std::numeric_limits<double>::quiet_NaN();
+  bool factored_valid_ = false;  // solver holds the factored static matrix
+  bool static_valid_ = false;    // solver holds an unfactored static image
 };
 
-std::vector<double> solve_dc(Engine& engine, const TransientOptions& options,
-                             const DynamicState& state) {
-  std::vector<double> x(engine.structure().unknown_count(), 0.0);
+void solve_dc(Engine& engine, const TransientOptions& options,
+              const DynamicState& state) {
   try {
-    return engine.newton(0.0, 0.0, state, x, options.gmin);
+    engine.newton(0.0, 0.0, state, options.gmin);
   } catch (const ConvergenceError&) {
     // gmin stepping: solve a heavily damped system first and walk gmin down.
     for (double gmin = 1e-3; gmin >= options.gmin; gmin *= 1e-2) {
-      x = engine.newton(0.0, 0.0, state, x, gmin);
+      engine.newton(0.0, 0.0, state, gmin);
     }
-    return engine.newton(0.0, 0.0, state, x, options.gmin);
+    engine.newton(0.0, 0.0, state, options.gmin);
   }
 }
 
 }  // namespace
 
-TransientResult::TransientResult(std::vector<ckt::NodeId> probes, std::size_t)
-    : probes_(std::move(probes)), waves_(probes_.size()) {}
+TransientResult::TransientResult(std::vector<ckt::NodeId> probes, std::size_t reserve_steps)
+    : probes_(std::move(probes)), waves_(probes_.size()) {
+  for (wave::Waveform& w : waves_) w.reserve(reserve_steps);
+}
 
 const wave::Waveform& TransientResult::at(ckt::NodeId node) const {
   for (std::size_t k = 0; k < probes_.size(); ++k) {
@@ -265,7 +432,8 @@ OperatingPoint dc_operating_point(const ckt::Netlist& netlist,
   Engine engine(netlist, options);
   DynamicState state{std::vector<CapacitorState>(netlist.capacitors().size()),
                      std::vector<InductorState>(netlist.inductors().size())};
-  const std::vector<double> x = solve_dc(engine, options, state);
+  solve_dc(engine, options, state);
+  const std::span<const double> x = engine.solution();
 
   OperatingPoint op;
   op.node_voltage.resize(netlist.node_count(), 0.0);
@@ -290,17 +458,17 @@ TransientResult simulate(const ckt::Netlist& netlist, const TransientOptions& op
 
   DynamicState state{std::vector<CapacitorState>(netlist.capacitors().size()),
                      std::vector<InductorState>(netlist.inductors().size())};
-  std::vector<double> x = solve_dc(engine, options, state);
+  solve_dc(engine, options, state);
 
   // Seed device state from the operating point (capacitor currents and
   // inductor voltages are zero in steady state).
   for (std::size_t k = 0; k < netlist.capacitors().size(); ++k) {
     const ckt::Capacitor& c = netlist.capacitors()[k];
-    state.caps[k].v = engine.voltage(x, c.a) - engine.voltage(x, c.b);
+    state.caps[k].v = engine.voltage(c.a) - engine.voltage(c.b);
     state.caps[k].i = 0.0;
   }
   for (std::size_t k = 0; k < netlist.inductors().size(); ++k) {
-    state.inds[k].i = x[engine.structure().inductor_index(k)];
+    state.inds[k].i = engine.inductor_current(k);
     state.inds[k].v = 0.0;
   }
 
@@ -308,9 +476,7 @@ TransientResult simulate(const ckt::Netlist& netlist, const TransientOptions& op
                          static_cast<std::size_t>(options.t_stop / options.dt) + 2);
   std::vector<double> node_v(netlist.node_count(), 0.0);
   auto record = [&](double t) {
-    for (ckt::NodeId n = 1; n < netlist.node_count(); ++n) {
-      node_v[n] = x[engine.structure().node_index(n)];
-    }
+    engine.node_voltages_into(node_v);
     result.record(t, node_v);
   };
   record(0.0);
@@ -320,13 +486,13 @@ TransientResult simulate(const ckt::Netlist& netlist, const TransientOptions& op
   while (t < options.t_stop - 1e-21) {
     const double h = std::min(options.dt, options.t_stop - t);
     const double t_next = t + h;
-    x = engine.newton(t_next, h, state, x, options.gmin);
+    engine.newton(t_next, h, state, options.gmin);
 
     // Advance companion-model state.
     for (std::size_t k = 0; k < netlist.capacitors().size(); ++k) {
       const ckt::Capacitor& c = netlist.capacitors()[k];
       CapacitorState& s = state.caps[k];
-      const double v_new = engine.voltage(x, c.a) - engine.voltage(x, c.b);
+      const double v_new = engine.voltage(c.a) - engine.voltage(c.b);
       const double geq = (trap ? 2.0 : 1.0) * c.capacitance / h;
       const double i_new = trap ? geq * (v_new - s.v) - s.i : geq * (v_new - s.v);
       s.v = v_new;
@@ -335,8 +501,8 @@ TransientResult simulate(const ckt::Netlist& netlist, const TransientOptions& op
     for (std::size_t k = 0; k < netlist.inductors().size(); ++k) {
       const ckt::Inductor& l = netlist.inductors()[k];
       InductorState& s = state.inds[k];
-      s.i = x[engine.structure().inductor_index(k)];
-      s.v = engine.voltage(x, l.a) - engine.voltage(x, l.b);
+      s.i = engine.inductor_current(k);
+      s.v = engine.voltage(l.a) - engine.voltage(l.b);
     }
 
     t = t_next;

@@ -19,6 +19,19 @@ namespace rlceff::sim {
 
 enum class Integrator { trapezoidal, backward_euler };
 
+// MNA assembly strategy.
+//
+// `cached` splits assembly into a static image (topology, linear device
+// stamps, and companion conductances — functions of the step size only) and
+// per-step dynamics (RHS sources, companion currents, MOSFET linearization).
+// Linear circuits factor the static matrix once per step size and do a pure
+// substitution per step; nonlinear circuits restore the static image by
+// memcpy each Newton iteration and restamp only the MOSFET entries.  Both
+// paths produce bitwise-identical stamp sequences to `naive`, which rebuilds
+// and refactors the full Jacobian every iteration and is kept as the
+// reference for equivalence tests and the factor-once speedup benchmark.
+enum class AssemblyMode { cached, naive };
+
 struct TransientOptions {
   double t_stop = 1e-9;     // simulation end time [s]
   double dt = 0.1e-12;      // fixed time step [s]
@@ -29,6 +42,7 @@ struct TransientOptions {
   double rel_tol = 1e-6;
   int max_newton = 100;
   double newton_damping_v = 0.6;  // max voltage change accepted per iteration [V]
+  AssemblyMode assembly = AssemblyMode::cached;
 };
 
 // Simulation output: one sampled waveform per probed node.

@@ -17,9 +17,16 @@ DenseMatrix::DenseMatrix(std::size_t rows, std::size_t cols)
 void DenseMatrix::set_zero() { std::fill(a_.begin(), a_.end(), 0.0); }
 
 LuFactors lu_factor(const DenseMatrix& a) {
+  LuFactors f;
+  lu_factor_into(a, f);
+  return f;
+}
+
+void lu_factor_into(const DenseMatrix& a, LuFactors& f) {
   ensure(a.rows() == a.cols(), "lu_factor: matrix must be square");
   const std::size_t n = a.rows();
-  LuFactors f{a, std::vector<std::size_t>(n)};
+  f.lu = a;  // same-shape copy reuses the workspace's storage
+  f.perm.resize(n);
   DenseMatrix& lu = f.lu;
 
   for (std::size_t k = 0; k < n; ++k) {
@@ -48,13 +55,18 @@ LuFactors lu_factor(const DenseMatrix& a) {
       for (std::size_t j = k + 1; j < n; ++j) lu(i, j) -= m * lu(k, j);
     }
   }
-  return f;
 }
 
 std::vector<double> lu_solve(const LuFactors& f, std::span<const double> b) {
-  const std::size_t n = f.lu.rows();
-  ensure(b.size() == n, "lu_solve: rhs size mismatch");
+  ensure(b.size() == f.lu.rows(), "lu_solve: rhs size mismatch");
   std::vector<double> x(b.begin(), b.end());
+  lu_solve_into(f, x);
+  return x;
+}
+
+void lu_solve_into(const LuFactors& f, std::span<double> x) {
+  const std::size_t n = f.lu.rows();
+  ensure(x.size() == n, "lu_solve: rhs size mismatch");
 
   for (std::size_t k = 0; k < n; ++k) {
     std::swap(x[k], x[f.perm[k]]);
@@ -64,7 +76,6 @@ std::vector<double> lu_solve(const LuFactors& f, std::span<const double> b) {
     for (std::size_t j = k + 1; j < n; ++j) x[k] -= f.lu(k, j) * x[j];
     x[k] /= f.lu(k, k);
   }
-  return x;
 }
 
 std::vector<double> solve_dense(const DenseMatrix& a, std::span<const double> b) {
@@ -112,6 +123,14 @@ void BandedMatrix::set_zero() {
   factored_ = false;
 }
 
+void BandedMatrix::copy_values_from(const BandedMatrix& other) {
+  ensure(n_ == other.n_ && kl_ == other.kl_ && ku_ == other.ku_,
+         "BandedMatrix: copy_values_from shape mismatch");
+  ensure(!other.factored_, "BandedMatrix: copying from a factored matrix");
+  std::copy(other.ab_.begin(), other.ab_.end(), ab_.begin());
+  factored_ = false;
+}
+
 void BandedMatrix::factor() {
   ensure(!factored_, "BandedMatrix: already factored");
   for (std::size_t k = 0; k < n_; ++k) {
@@ -143,9 +162,15 @@ void BandedMatrix::factor() {
 }
 
 std::vector<double> BandedMatrix::solve(std::span<const double> b) const {
-  ensure(factored_, "BandedMatrix: solve before factor");
   ensure(b.size() == n_, "BandedMatrix: rhs size mismatch");
   std::vector<double> x(b.begin(), b.end());
+  solve_into(x);
+  return x;
+}
+
+void BandedMatrix::solve_into(std::span<double> x) const {
+  ensure(factored_, "BandedMatrix: solve before factor");
+  ensure(x.size() == n_, "BandedMatrix: rhs size mismatch");
 
   for (std::size_t k = 0; k < n_; ++k) {
     std::swap(x[k], x[pivot_[k]]);
@@ -157,7 +182,6 @@ std::vector<double> BandedMatrix::solve(std::span<const double> b) const {
     for (std::size_t j = k + 1; j <= jlast; ++j) x[k] -= at(k, j) * x[j];
     x[k] /= at(k, k);
   }
-  return x;
 }
 
 }  // namespace rlceff::util

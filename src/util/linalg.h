@@ -42,8 +42,17 @@ struct LuFactors {
 // Factors a square matrix; throws SingularMatrixError when a pivot vanishes.
 LuFactors lu_factor(const DenseMatrix& a);
 
+// Factors into a caller-owned workspace.  When `f` was already sized for an
+// n x n system no memory is allocated, so a transient engine can refactor
+// every Newton iteration without touching the heap.
+void lu_factor_into(const DenseMatrix& a, LuFactors& f);
+
 // Solves A x = b given the factorization of A.
 std::vector<double> lu_solve(const LuFactors& f, std::span<const double> b);
+
+// In-place solve: x holds b on entry and the solution on exit.  Allocates
+// nothing.
+void lu_solve_into(const LuFactors& f, std::span<double> x);
 
 // Convenience: factor and solve in one call.
 std::vector<double> solve_dense(const DenseMatrix& a, std::span<const double> b);
@@ -66,12 +75,23 @@ public:
 
   void set_zero();
 
+  // Copies the numeric values of `other` (same n/lower/upper shape, not yet
+  // factored) into this matrix without allocating.  The result is unfactored,
+  // so a cached static assembly can be restored and refactored each Newton
+  // iteration at memcpy cost instead of re-stamping every device.
+  void copy_values_from(const BandedMatrix& other);
+
   // Factors in place (partial pivoting, fill confined to kl extra
   // superdiagonals) and solves.  The matrix must have been built with
   // `upper` at least its true upper bandwidth; factorization uses
   // ku_total = ku + kl internally.
   void factor();
   std::vector<double> solve(std::span<const double> b) const;
+
+  // In-place solve: x holds b on entry and the solution on exit.  Allocates
+  // nothing, so the per-step cost of a pre-factored system is one O(n * bw)
+  // substitution sweep.
+  void solve_into(std::span<double> x) const;
 
 private:
   double& at(std::size_t r, std::size_t c);

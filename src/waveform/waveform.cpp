@@ -15,6 +15,11 @@ Waveform::Waveform(std::vector<double> times, std::vector<double> values)
   }
 }
 
+void Waveform::reserve(std::size_t samples) {
+  t_.reserve(samples);
+  v_.reserve(samples);
+}
+
 void Waveform::append(double time, double value) {
   ensure(t_.empty() || time > t_.back(), "Waveform: non-increasing append");
   t_.push_back(time);

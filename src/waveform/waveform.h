@@ -25,6 +25,10 @@ public:
   double time(std::size_t i) const { return t_[i]; }
   double value(std::size_t i) const { return v_[i]; }
 
+  // Pre-sizes the sample storage (fixed-step simulators know their step
+  // count up front, keeping append() allocation-free inside the time loop).
+  void reserve(std::size_t samples);
+
   // Appends a sample; time must exceed the last sample's time.
   void append(double time, double value);
 

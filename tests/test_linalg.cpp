@@ -91,6 +91,84 @@ TEST(BandedLu, MatchesDenseOnRandomBandedSystems) {
   }
 }
 
+TEST(DenseLu, FactorIntoReusesWorkspaceAndMatchesOneShot) {
+  LuFactors workspace;
+  for (int trial = 0; trial < 3; ++trial) {
+    const std::size_t m = 5;
+    DenseMatrix a(m, m);
+    for (std::size_t r = 0; r < m; ++r) {
+      for (std::size_t c = 0; c < m; ++c) a(r, c) = uniform(-1.0, 1.0);
+      a(r, r) += 4.0;
+    }
+    std::vector<double> b(m);
+    for (double& v : b) v = uniform(-2.0, 2.0);
+
+    lu_factor_into(a, workspace);
+    std::vector<double> x = b;
+    lu_solve_into(workspace, x);
+    const auto x_ref = solve_dense(a, b);
+    for (std::size_t k = 0; k < m; ++k) EXPECT_NEAR(x_ref[k], x[k], 1e-12);
+  }
+}
+
+TEST(BandedLu, SolveIntoMatchesSolve) {
+  const std::size_t m = 9;
+  BandedMatrix a(m, 2, 2);
+  for (std::size_t r = 0; r < m; ++r) {
+    for (std::size_t c = 0; c < m; ++c) {
+      if (!a.in_band(r, c)) continue;
+      a.add(r, c, uniform(-1.0, 1.0) + (r == c ? 4.0 : 0.0));
+    }
+  }
+  std::vector<double> b(m);
+  for (double& v : b) v = uniform(-2.0, 2.0);
+
+  a.factor();
+  const auto x_ref = a.solve(b);
+  std::vector<double> x = b;
+  a.solve_into(x);
+  for (std::size_t k = 0; k < m; ++k) EXPECT_EQ(x_ref[k], x[k]);
+}
+
+TEST(BandedLu, CopyValuesFromRestoresAndRefactors) {
+  // The transient engine's cached-static pattern: keep an unfactored image,
+  // restore it into the working matrix, perturb, factor, solve — repeatedly.
+  const std::size_t m = 10;
+  BandedMatrix image(m, 1, 1);
+  DenseMatrix dense_base(m, m);
+  for (std::size_t k = 0; k < m; ++k) {
+    image.add(k, k, 3.0 + 0.1 * static_cast<double>(k));
+    dense_base(k, k) = 3.0 + 0.1 * static_cast<double>(k);
+    if (k + 1 < m) {
+      image.add(k, k + 1, -1.0);
+      image.add(k + 1, k, -1.0);
+      dense_base(k, k + 1) = -1.0;
+      dense_base(k + 1, k) = -1.0;
+    }
+  }
+  std::vector<double> b(m, 1.0);
+
+  BandedMatrix work(m, 1, 1);
+  for (int round = 0; round < 3; ++round) {
+    const double extra = 0.5 * static_cast<double>(round);
+    work.copy_values_from(image);
+    work.add(0, 0, extra);  // "restamped" dynamic entry
+    work.factor();
+    const auto x = work.solve(b);
+
+    DenseMatrix dense = dense_base;
+    dense(0, 0) += extra;
+    const auto x_ref = solve_dense(dense, b);
+    for (std::size_t k = 0; k < m; ++k) expect_rel_near(x_ref[k], x[k], 1e-12);
+  }
+}
+
+TEST(BandedLu, CopyValuesFromRejectsShapeMismatch) {
+  BandedMatrix a(5, 1, 1);
+  BandedMatrix b(5, 2, 2);
+  EXPECT_THROW(a.copy_values_from(b), Error);
+}
+
 TEST(BandedLu, RejectsOutOfBandEntry) {
   BandedMatrix a(5, 1, 1);
   EXPECT_THROW(a.add(0, 3, 1.0), Error);
