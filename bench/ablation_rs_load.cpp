@@ -39,7 +39,7 @@ int main() {
     core::ExperimentCase c;
     c.driver_size = row.size;
     c.input_slew = row.slew_ps * ps;
-    c.wire = *tech::find_paper_wire_case(row.length_mm, row.width_um);
+    c.net = tech::line_net(*tech::find_paper_wire_case(row.length_mm, row.width_um), 20 * ff);
 
     core::ExperimentOptions opt = bench::sweep_fidelity();
     opt.include_one_ramp = false;

@@ -1,8 +1,13 @@
 #include "bench_common.h"
 
+#include <cstdio>
+
+#include <exception>
 #include <fstream>
+#include <utility>
 
 #include "util/error.h"
+#include "util/stats.h"
 #include "util/units.h"
 
 namespace rlceff::bench {
@@ -90,6 +95,97 @@ void write_bench_json(const std::string& path, const std::string& bench_name,
   }
   out << "\n  ]\n}\n";
   ensure(out.good(), "write_bench_json: write failed");
+}
+
+namespace {
+
+// Parses one "    {"name": "...", "value": ..., "unit": "..."}" line as
+// emitted by write_bench_json.  Tolerant: returns false on anything else.
+bool parse_metric_line(const std::string& line, BenchMetric& out) {
+  auto field = [&line](const char* key) -> std::string {
+    const std::string tag = std::string("\"") + key + "\": ";
+    const std::size_t at = line.find(tag);
+    if (at == std::string::npos) return {};
+    std::size_t begin = at + tag.size();
+    if (begin < line.size() && line[begin] == '"') {
+      ++begin;
+      const std::size_t end = line.find('"', begin);
+      if (end == std::string::npos) return {};
+      return line.substr(begin, end - begin);
+    }
+    std::size_t end = begin;
+    while (end < line.size() && line[end] != ',' && line[end] != '}') ++end;
+    return line.substr(begin, end - begin);
+  };
+  out.name = field("name");
+  const std::string value = field("value");
+  out.unit = field("unit");
+  if (out.name.empty() || value.empty()) return false;
+  try {
+    out.value = std::stod(value);
+  } catch (const std::exception&) {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+void update_accuracy_json(const std::string& section,
+                          const std::vector<BenchMetric>& metrics,
+                          const std::string& path) {
+  const std::string prefix = section + ".";
+  std::vector<BenchMetric> merged;
+  {
+    std::ifstream in(path);
+    std::string line;
+    while (in.good() && std::getline(in, line)) {
+      BenchMetric m;
+      if (parse_metric_line(line, m)) {
+        if (m.name.rfind(prefix, 0) != 0) merged.push_back(std::move(m));
+      } else if (line.find("\"name\"") != std::string::npos) {
+        // A metric-looking line we cannot round-trip would be silently lost
+        // by the rewrite below; make the drop visible.
+        std::fprintf(stderr, "update_accuracy_json: dropping unparseable metric "
+                             "line in %s: %s\n",
+                     path.c_str(), line.c_str());
+      }
+    }
+  }
+  for (const BenchMetric& m : metrics) {
+    merged.push_back({prefix + m.name, m.value, m.unit});
+  }
+  // Write-then-rename so a reader never sees a half-written file.  (The
+  // read-modify-write itself is not locked: run accuracy benches
+  // sequentially, as CI does, or concurrent writers can drop each other's
+  // sections.)
+  const std::string tmp = path + ".tmp";
+  write_bench_json(tmp, "accuracy", merged);
+  ensure(std::rename(tmp.c_str(), path.c_str()) == 0,
+         "update_accuracy_json: rename failed");
+}
+
+std::vector<BenchMetric> error_metrics(const std::string& column,
+                                       const std::vector<double>& delay_errs_pct,
+                                       const std::vector<double>& slew_errs_pct) {
+  return {
+      {"cases_" + column, static_cast<double>(delay_errs_pct.size()), "count"},
+      {"mean_abs_delay_error_" + column, util::mean_abs(delay_errs_pct), "%"},
+      {"max_abs_delay_error_" + column, util::max_abs(delay_errs_pct), "%"},
+      {"mean_abs_slew_error_" + column, util::mean_abs(slew_errs_pct), "%"},
+      {"max_abs_slew_error_" + column, util::max_abs(slew_errs_pct), "%"},
+  };
+}
+
+std::vector<BenchMetric> two_model_error_metrics(
+    const std::vector<double>& two_ramp_delay, const std::vector<double>& two_ramp_slew,
+    const std::vector<double>& one_ramp_delay,
+    const std::vector<double>& one_ramp_slew) {
+  std::vector<BenchMetric> out = error_metrics("two_ramp", two_ramp_delay, two_ramp_slew);
+  for (BenchMetric& m : error_metrics("one_ramp", one_ramp_delay, one_ramp_slew)) {
+    out.push_back(std::move(m));
+  }
+  return out;
 }
 
 void ascii_plot(const std::vector<const wave::Waveform*>& series,

@@ -52,6 +52,26 @@ struct BenchMetric {
 void write_bench_json(const std::string& path, const std::string& bench_name,
                       const std::vector<BenchMetric>& metrics);
 
+// Accumulates accuracy metrics from several bench binaries into one
+// BENCH_accuracy.json (same schema as write_bench_json, bench name
+// "accuracy").  Each metric is stored as "<section>.<name>"; re-running a
+// bench replaces its own section and leaves the others untouched, so the
+// accuracy trajectory survives partial reruns.
+void update_accuracy_json(const std::string& section,
+                          const std::vector<BenchMetric>& metrics,
+                          const std::string& path = "BENCH_accuracy.json");
+
+// Mean/max |error| rows for one model column (delay + slew), ready for
+// update_accuracy_json.
+std::vector<BenchMetric> error_metrics(const std::string& column,
+                                       const std::vector<double>& delay_errs_pct,
+                                       const std::vector<double>& slew_errs_pct);
+
+// The paired two-ramp + one-ramp columns the paper-facing benches report.
+std::vector<BenchMetric> two_model_error_metrics(
+    const std::vector<double>& two_ramp_delay, const std::vector<double>& two_ramp_slew,
+    const std::vector<double>& one_ramp_delay, const std::vector<double>& one_ramp_slew);
+
 // ASCII chart of one or more waveforms over [t0, t1] (voltages 0..v_max).
 // Series are drawn with the given glyphs; later series overwrite earlier.
 void ascii_plot(const std::vector<const wave::Waveform*>& series,

@@ -14,10 +14,11 @@ namespace {
 
 void run_case(const char* title, double length_mm, double width_um, double size,
               double slew) {
+  const tech::WireParasitics wire = *tech::find_paper_wire_case(length_mm, width_um);
   core::ExperimentCase c;
   c.driver_size = size;
   c.input_slew = slew;
-  c.wire = *tech::find_paper_wire_case(length_mm, width_um);
+  c.net = tech::line_net(wire, 20 * ff);
 
   core::ExperimentOptions opt = bench::full_fidelity();
   opt.keep_waveforms = true;
@@ -28,7 +29,7 @@ void run_case(const char* title, double length_mm, double width_um, double size,
 
   std::printf("\n-- %s --\n", title);
   std::printf("line R=%.1f ohm L=%.2f nH C=%.0f fF, driver %gX, input slew %.0f ps\n",
-              c.wire.resistance, c.wire.inductance / nh, c.wire.capacitance / ff, size,
+              wire.resistance, wire.inductance / nh, wire.capacitance / ff, size,
               slew / ps);
   std::printf("model: %s, f=%.2f (Rs=%.1f ohm, Z0=%.1f ohm), Ceff1=%.0f fF (Tr1=%.0f ps),"
               " Ceff2=%.0f fF (Tr2'=%.0f ps)\n",

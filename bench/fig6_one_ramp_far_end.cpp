@@ -21,7 +21,7 @@ int main() {
     core::ExperimentCase c;
     c.driver_size = 25.0;
     c.input_slew = 100 * ps;
-    c.wire = *tech::find_paper_wire_case(4.0, 1.6);
+    c.net = tech::line_net(*tech::find_paper_wire_case(4.0, 1.6), 20 * ff);
     core::ExperimentOptions opt = bench::full_fidelity();
     opt.keep_waveforms = true;
     opt.include_far_end = false;
@@ -50,7 +50,7 @@ int main() {
     core::ExperimentCase c;
     c.driver_size = 75.0;
     c.input_slew = 50 * ps;
-    c.wire = *tech::find_paper_wire_case(4.0, 0.8);
+    c.net = tech::line_net(*tech::find_paper_wire_case(4.0, 0.8), 20 * ff);
     core::ExperimentOptions opt = bench::full_fidelity();
     opt.keep_waveforms = true;
     opt.include_one_ramp = false;

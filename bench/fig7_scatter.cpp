@@ -62,7 +62,9 @@ int main() {
 
   core::ExperimentOptions opt = bench::sweep_fidelity();
   opt.include_far_end = false;
-  opt.include_one_ramp = false;
+  // The one-ramp baseline column costs no extra simulation (model only) and
+  // feeds the BENCH_accuracy.json trajectory.
+  opt.include_one_ramp = true;
 
   // Phase 1: cheap screening with the model flow only (no simulation).
   struct Candidate {
@@ -79,11 +81,11 @@ int main() {
           core::ExperimentCase c;
           c.driver_size = size;
           c.input_slew = slew * ps;
-          c.wire = wires.extract({l * mm, w * um});
+          c.net = tech::line_net(wires.extract({l * mm, w * um}), 20 * ff);
           const auto& driver =
               bench::library().ensure_driver(bench::technology(), size);
           const auto model =
-              core::model_driver_output(driver, c.input_slew, c.wire, c.c_load_far);
+              core::model_driver_output(driver, c.input_slew, c.net);
           const bool paper_region = l >= 3.0 && w >= 1.6 && size >= 75.0;
           if (model.kind != core::ModelKind::one_ramp) {
             inductive.push_back({c, paper_region});
@@ -110,6 +112,7 @@ int main() {
   struct CaseMetrics {
     core::EdgeMetrics ref;
     core::EdgeMetrics model;
+    core::EdgeMetrics one_ramp;
   };
   std::printf("# simulating %zu cases on %u threads\n", inductive.size(),
               sim::sweep_worker_count(inductive.size(), 0));
@@ -118,11 +121,12 @@ int main() {
       inductive, [&](const Candidate& cand) -> CaseMetrics {
         const auto r = core::run_experiment(bench::technology(), bench::library(),
                                             cand.scenario, opt);
-        return {r.ref_near, r.model_near};
+        return {r.ref_near, r.model_near, r.one_near};
       });
 
   std::vector<std::pair<double, double>> delay_pts, slew_pts;
   std::vector<double> delay_errs, slew_errs;
+  std::vector<double> one_delay_errs, one_slew_errs;
   std::vector<double> delay_errs_core, slew_errs_core;  // paper's sub-region
   for (std::size_t k = 0; k < inductive.size(); ++k) {
     const CaseMetrics& m = metrics[k];
@@ -130,11 +134,18 @@ int main() {
     slew_pts.emplace_back(m.ref.slew, m.model.slew);
     delay_errs.push_back(core::pct_error(m.model.delay, m.ref.delay));
     slew_errs.push_back(core::pct_error(m.model.slew, m.ref.slew));
+    one_delay_errs.push_back(core::pct_error(m.one_ramp.delay, m.ref.delay));
+    one_slew_errs.push_back(core::pct_error(m.one_ramp.slew, m.ref.slew));
     if (inductive[k].paper_region) {
       delay_errs_core.push_back(delay_errs.back());
       slew_errs_core.push_back(slew_errs.back());
     }
   }
+
+  bench::update_accuracy_json(
+      "fig7", bench::two_model_error_metrics(delay_errs, slew_errs, one_delay_errs,
+                                             one_slew_errs));
+  std::printf("# accuracy metrics written to BENCH_accuracy.json (fig7.*)\n");
 
   std::printf("\ndelay scatter:\n");
   ascii_scatter(delay_pts, 0.0, 100 * ps, "delay");

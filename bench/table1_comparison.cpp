@@ -7,6 +7,7 @@
 //   * one-ramp delay errors that are large, positive, and grow with width,
 //   * one-ramp slew errors that are large and negative (missed tail).
 #include <cstdio>
+#include <cstring>
 
 #include <cmath>
 #include <vector>
@@ -46,11 +47,30 @@ const std::vector<PaperRow> rows = {
 
 }  // namespace
 
-int main() {
-  std::printf("== Table 1: HSPICE, one-ramp, and two-ramp model comparison ==\n");
-  bench::warm_library({75.0, 100.0});
+int main(int argc, char** argv) {
+  // --smoke: CI mode — coarse deck and a small on-the-fly characterization
+  // grid so the bench (and its BENCH_accuracy.json) finishes in seconds.
+  bool smoke = false;
+  for (int k = 1; k < argc; ++k) {
+    if (std::strcmp(argv[k], "--smoke") == 0) smoke = true;
+  }
+
+  std::printf("== Table 1: HSPICE, one-ramp, and two-ramp model comparison ==%s\n",
+              smoke ? " (smoke fidelity)" : "");
 
   core::ExperimentOptions opt = bench::full_fidelity();
+  charlib::CellLibrary smoke_library;
+  if (smoke) {
+    opt = bench::sweep_fidelity();
+    opt.deck.segments = 40;
+    opt.deck.dt = 1e-12;
+    opt.grid.input_slews = {50e-12, 100e-12, 200e-12};
+    opt.grid.loads = {50e-15, 200e-15, 500e-15, 1e-12, 1.8e-12, 3e-12, 5e-12};
+  } else {
+    bench::warm_library({75.0, 100.0});
+  }
+  charlib::CellLibrary& library = smoke ? smoke_library : bench::library();
+
   opt.include_far_end = false;
   // Table 1 compares both models at the driving point regardless of the
   // screen (all rows are inductive cases anyway).
@@ -68,8 +88,9 @@ int main() {
     core::ExperimentCase c;
     c.driver_size = row.size;
     c.input_slew = row.slew_ps * ps;
-    c.wire = *tech::find_paper_wire_case(row.length_mm, row.width_um);
-    const auto r = core::run_experiment(bench::technology(), bench::library(), c, opt);
+    c.net = tech::line_net(*tech::find_paper_wire_case(row.length_mm, row.width_um),
+                           20 * ff);
+    const auto r = core::run_experiment(bench::technology(), library, c, opt);
 
     const double d2 = core::pct_error(r.model_near.delay, r.ref_near.delay);
     const double d1 = core::pct_error(r.one_near.delay, r.ref_near.delay);
@@ -101,5 +122,13 @@ int main() {
   std::printf("one-ramp delay               %6.1f %%     69.9 %%\n", avg_abs(d1_errs));
   std::printf("two-ramp slew                %6.1f %%      8.0 %%\n", avg_abs(s2_errs));
   std::printf("one-ramp slew                %6.1f %%     50.2 %%\n", avg_abs(s1_errs));
+
+  // Smoke numbers go to their own section so reduced-fidelity runs never
+  // alias the paper-facing table1.* trajectory.
+  const std::string section = smoke ? "table1_smoke" : "table1";
+  bench::update_accuracy_json(
+      section, bench::two_model_error_metrics(d2_errs, s2_errs, d1_errs, s1_errs));
+  std::printf("accuracy metrics written to BENCH_accuracy.json (%s.*)\n",
+              section.c_str());
   return 0;
 }

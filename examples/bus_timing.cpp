@@ -102,8 +102,8 @@ int main() {
   core::ExperimentCase c;
   c.driver_size = check.driver_size;
   c.input_slew = input_slew;
-  c.wire = wires.extract({check.length_mm * mm, check.width_um * um});
-  c.c_load_far = c_receiver;
+  c.net = tech::line_net(wires.extract({check.length_mm * mm, check.width_um * um}),
+                         c_receiver);
   core::ExperimentOptions opt;
   opt.grid = grid;
   const core::ExperimentResult r = core::run_experiment(technology, library, c, opt);

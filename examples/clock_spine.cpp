@@ -1,10 +1,11 @@
 // Clock spine: the two-ramp flow on a branched RLC net.
 //
 // A clock spine drives two symmetric arms from a 2 mm trunk; each arm ends
-// in a bank of receiver gates.  The load is no longer a uniform line, so the
-// uniform-line API does not apply — the tree variant of the flow computes
-// the driving-point moments over the whole net and takes the breakpoint and
-// flight time from the dominant root-to-leaf path.
+// in a bank of receiver gates.  The load is no longer a uniform line — but
+// with the Net IR it is still one description: a trunk branch fanning out
+// into two arm branches with lumped bank loads and named probes.  The same
+// net drives the moment engine (Ceff flow) and the discretized simulation
+// deck.
 #include <cstdio>
 
 #include "charlib/library.h"
@@ -26,17 +27,27 @@ int main() {
   const tech::WireParasitics arm_w = wires.extract({2.5 * mm, 1.2 * um});
   const double bank_cap = 8.0 * tech::Inverter{10.0}.input_capacitance(technology);
 
-  moments::RlcBranch arm{arm_w.resistance, arm_w.inductance,
-                         arm_w.capacitance + bank_cap, {}};
-  moments::RlcBranch net{trunk_w.resistance, trunk_w.inductance, trunk_w.capacitance,
-                         {arm, arm}};
+  net::Branch arm;
+  arm.sections.push_back({arm_w.resistance, arm_w.inductance, arm_w.capacitance,
+                          net::SectionKind::distributed});
+  arm.c_load = bank_cap;
+  net::Branch left = arm;
+  left.probe = "left_bank";
+  net::Branch right = arm;
+  right.probe = "right_bank";
 
-  const moments::TreePathMetrics metrics = moments::tree_metrics(net);
+  net::Branch trunk;
+  trunk.sections.push_back({trunk_w.resistance, trunk_w.inductance,
+                            trunk_w.capacitance, net::SectionKind::distributed});
+  trunk.children = {left, right};
+  const net::Net spine{trunk};
+
+  const net::NetMetrics metrics = spine.metrics();
   std::printf("clock spine: trunk 2 mm + two 2.5 mm arms, %.0f fF per leaf bank\n",
               bank_cap / ff);
   std::printf("dominant path: Z0=%.1f ohm, tf=%.1f ps, R=%.1f ohm; total C=%.2f pF\n\n",
               metrics.z0, metrics.time_of_flight / ps, metrics.path_resistance,
-              metrics.total_capacitance / pf);
+              metrics.total_capacitance() / pf);
 
   charlib::CharacterizationGrid grid;
   grid.input_slews = {50 * ps, 100 * ps, 200 * ps};
@@ -46,21 +57,24 @@ int main() {
       library.ensure_driver(technology, 125.0, grid);
 
   const core::DriverOutputModel model =
-      core::model_driver_output(driver, 100 * ps, net);
+      core::model_driver_output(driver, 100 * ps, spine);
   std::printf("model: %s, f=%.2f, Ceff1=%.0f fF (Tr1=%.0f ps), Ceff2=%.0f fF, "
               "gate delay %.1f ps\n",
               model.kind == core::ModelKind::two_ramp ? "two-ramp" : "one-ramp",
               model.f, model.ceff1.ceff / ff, model.ceff1.ramp_time / ps,
               model.ceff2.ceff / ff, model.t50 / ps);
 
-  // Validate against the simulator: drive the discretized tree.
+  // Validate against the simulator: drive the discretized net.
   tech::DeckOptions deck;
   deck.dt = 0.5 * ps;
   deck.t_stop = 2 * ns;
-  const tech::TreeSimResult sim = tech::simulate_driver_tree(
-      technology, tech::Inverter{125.0}, 100 * ps, net, deck, 40);
+  deck.segments = 40;
+  const tech::NetSimResult sim =
+      tech::simulate_driver_net(technology, tech::Inverter{125.0}, 100 * ps, spine,
+                                deck);
   const auto near = wave::measure_rising_edge(sim.near_end, 0.0, technology.vdd);
-  const auto leaf = wave::measure_rising_edge(sim.leaves[0], 0.0, technology.vdd);
+  const auto leaf = wave::measure_rising_edge(sim.probe("left_bank"), 0.0,
+                                              technology.vdd);
 
   std::printf("\nsimulated: gate delay %.1f ps (model %+.1f%%), leaf arrival %.1f ps, "
               "leaf slew %.1f ps\n",
@@ -68,12 +82,13 @@ int main() {
               100.0 * (model.t50 / (near.t50 - sim.input_time_50) - 1.0),
               (leaf.t50 - sim.input_time_50) / ps, leaf.transition_10_90() / ps);
 
-  // Replay the modeled waveform through the tree for the sink arrival.
+  // Replay the modeled waveform through the net for the sink arrival.
   std::vector<std::pair<double, double>> pts = model.waveform.points();
   for (auto& [t, v] : pts) t += sim.input_time_50;
-  const tech::TreeSimResult replay =
-      tech::simulate_source_tree(wave::Pwl(std::move(pts)), net, deck, 40);
-  const auto leaf_m = wave::measure_rising_edge(replay.leaves[0], 0.0, technology.vdd);
+  const tech::NetSimResult replay =
+      tech::simulate_source_net(wave::Pwl(std::move(pts)), spine, deck);
+  const auto leaf_m = wave::measure_rising_edge(replay.probe("left_bank"), 0.0,
+                                                technology.vdd);
   std::printf("modeled sink arrival via replay: %.1f ps (%+.1f%% vs simulation)\n",
               (leaf_m.t50 - sim.input_time_50) / ps,
               100.0 * ((leaf_m.t50 - sim.input_time_50) /

@@ -1,9 +1,10 @@
-// Quickstart: model the driver output of one RLC net with the two-ramp
-// effective-capacitance flow and compare it against a transient simulation.
+// Quickstart: describe an interconnect as a net::Net, model its driver
+// output with the two-ramp effective-capacitance flow, and compare it
+// against a transient simulation.
 //
 // Build & run (from the repository root):
 //   cmake -B build -G Ninja && cmake --build build
-//   ./build/examples/quickstart
+//   ./build/example_quickstart
 #include <cstdio>
 
 #include "charlib/library.h"
@@ -15,14 +16,20 @@ using namespace rlceff;
 using namespace rlceff::units;
 
 int main() {
-  // 1. Technology and wire: a 5 mm x 1.6 um global wire in the calibrated
-  //    0.18 um process.  WireModel plays the role of a field solver.
+  // 1. Technology and interconnect: a 5 mm x 1.6 um global wire with a 20 fF
+  //    receiver, described once as a net::Net — the IR every layer (deck
+  //    compiler, moment engine, experiment harness) consumes.  WireModel
+  //    plays the role of a field solver; swap uniform_line for
+  //    Net::multi_section or Net::from_tree and nothing downstream changes.
   const tech::Technology technology = tech::Technology::cmos180();
   const tech::WireModel wires;
   const tech::WireParasitics wire = wires.extract({5 * mm, 1.6 * um});
-  std::printf("wire: R=%.1f ohm  L=%.2f nH  C=%.2f pF  (Z0=%.1f ohm, tf=%.1f ps)\n",
-              wire.resistance, wire.inductance / nh, wire.capacitance / pf, wire.z0(),
-              wire.time_of_flight() / ps);
+  const net::Net line = tech::line_net(wire, 20 * ff);
+  const net::NetMetrics metrics = line.metrics();
+  std::printf("net: R=%.1f ohm  L=%.2f nH  C=%.2f pF  (Z0=%.1f ohm, tf=%.1f ps)\n",
+              metrics.path_resistance, wire.inductance / nh,
+              metrics.total_capacitance() / pf, metrics.z0,
+              metrics.time_of_flight / ps);
 
   // 2. Characterize a 100X inverter driver (in production flows this comes
   //    from the cell library; here we build a small table on the fly).
@@ -33,16 +40,15 @@ int main() {
   library.ensure_driver(technology, 100.0, grid);
 
   // 3. Run the paper's flow against a simulated reference.
-  core::ExperimentCase net;
-  net.driver_size = 100.0;
-  net.input_slew = 100 * ps;
-  net.wire = wire;
-  net.c_load_far = 20 * ff;  // receiver gate capacitance
+  core::ExperimentCase scenario;
+  scenario.driver_size = 100.0;
+  scenario.input_slew = 100 * ps;
+  scenario.net = line;
 
   core::ExperimentOptions options;
   options.grid = grid;
   const core::ExperimentResult r =
-      core::run_experiment(technology, library, net, options);
+      core::run_experiment(technology, library, scenario, options);
 
   // 4. Inspect the model.
   const core::DriverOutputModel& m = r.model;

@@ -74,8 +74,7 @@ int main() {
   core::ExperimentCase c;
   c.driver_size = *chosen;
   c.input_slew = input_slew;
-  c.wire = wire;
-  c.c_load_far = c_receiver;
+  c.net = tech::line_net(wire, c_receiver);
   core::ExperimentOptions opt;
   opt.grid = grid;
   const core::ExperimentResult r = core::run_experiment(technology, library, c, opt);

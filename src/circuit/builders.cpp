@@ -51,4 +51,60 @@ NodeId append_pi_load(Netlist& netlist, NodeId from, double c_near, double r,
   return far;
 }
 
+namespace {
+
+void compile_branch(Netlist& netlist, NodeId from, const net::Branch& branch,
+                    std::size_t segments, NetDeckNodes& out) {
+  NodeId far = from;
+  for (const net::Section& section : branch.sections) {
+    if (section.resistance > 0.0 && section.capacitance > 0.0) {
+      far = append_rlc_ladder(netlist, far, section.resistance, section.inductance,
+                              section.capacitance, segments)
+                .far_end;
+      continue;
+    }
+    // Degenerate lumped sections (validation keeps these out of distributed
+    // routes): stamp whatever series impedance is present as single lumps so
+    // the deck matches what moments::net_admittance models, then the shunt.
+    if (section.resistance > 0.0 && section.inductance > 0.0) {
+      const NodeId mid = netlist.add_node();
+      const NodeId next = netlist.add_node();
+      netlist.add_resistor(far, mid, section.resistance);
+      netlist.add_inductor(mid, next, section.inductance);
+      far = next;
+    } else if (section.resistance > 0.0) {
+      const NodeId next = netlist.add_node();
+      netlist.add_resistor(far, next, section.resistance);
+      far = next;
+    } else if (section.inductance > 0.0) {
+      const NodeId next = netlist.add_node();
+      netlist.add_inductor(far, next, section.inductance);
+      far = next;
+    }
+    if (section.capacitance > 0.0) {
+      netlist.add_capacitor(far, ground, section.capacitance);
+    }
+  }
+  if (branch.c_load > 0.0) netlist.add_capacitor(far, ground, branch.c_load);
+  if (!branch.probe.empty()) out.probes.emplace_back(branch.probe, far);
+  if (branch.children.empty()) {
+    out.leaves.push_back(far);
+    return;
+  }
+  for (const net::Branch& child : branch.children) {
+    compile_branch(netlist, far, child, segments, out);
+  }
+}
+
+}  // namespace
+
+NetDeckNodes append_net(Netlist& netlist, NodeId from, const net::Net& net,
+                        std::size_t segments_per_section) {
+  ensure(segments_per_section > 0, "append_net: need at least one segment");
+  NetDeckNodes out;
+  out.near_end = from;
+  compile_branch(netlist, from, net.root(), segments_per_section, out);
+  return out;
+}
+
 }  // namespace rlceff::ckt

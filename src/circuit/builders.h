@@ -1,13 +1,16 @@
 // Deck-building helpers for the interconnect structures used throughout the
 // reproduction: uniform RLC transmission-line ladders (the "HSPICE" view of a
-// wire) and lumped pi loads.
+// wire), lumped pi loads, and the net::Net deck compiler.
 #ifndef RLCEFF_CIRCUIT_BUILDERS_H
 #define RLCEFF_CIRCUIT_BUILDERS_H
 
 #include <cstddef>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "circuit/netlist.h"
+#include "net/net.h"
 
 namespace rlceff::ckt {
 
@@ -32,6 +35,20 @@ LadderNodes append_rlc_ladder(Netlist& netlist, NodeId from, double r_total,
 // Appends an RC pi load (c_near at `from`, series r, c_far at a new node).
 NodeId append_pi_load(Netlist& netlist, NodeId from, double c_near, double r,
                       double c_far);
+
+struct NetDeckNodes {
+  NodeId near_end = ground;
+  std::vector<NodeId> leaves;                          // depth-first leaf far ends
+  std::vector<std::pair<std::string, NodeId>> probes;  // named probe nodes
+};
+
+// Compiles a net::Net into a simulation deck hanging off `from`: every
+// section becomes an N-segment pi ladder (lumped capacitance-only sections
+// become a single shunt), lumped loads become far-end capacitors, and branch
+// points fan the deck out.  This is the one deck compiler behind both the
+// uniform-line and tree testbenches.
+NetDeckNodes append_net(Netlist& netlist, NodeId from, const net::Net& net,
+                        std::size_t segments_per_section);
 
 }  // namespace rlceff::ckt
 

@@ -241,37 +241,37 @@ DriverOutputModel run_flow(const charlib::CharacterizedDriver& driver,
 }  // namespace
 
 DriverOutputModel model_driver_output(const charlib::CharacterizedDriver& driver,
+                                      double input_slew, const net::Net& net,
+                                      const DriverModelOptions& options) {
+  const net::NetMetrics metrics = net.metrics();
+  LoadDescription load;
+  load.admittance_series = moments::net_admittance(net);
+  load.z0 = metrics.z0;
+  load.tf = metrics.time_of_flight;
+  load.line_resistance = metrics.path_resistance;
+  load.line_capacitance = metrics.wire_capacitance;
+  load.c_load = metrics.path_load;
+  return run_flow(driver, input_slew, load, options);
+}
+
+DriverOutputModel model_driver_output(const charlib::CharacterizedDriver& driver,
                                       double input_slew,
                                       const tech::WireParasitics& wire,
                                       double c_load_far,
                                       const DriverModelOptions& options) {
   ensure(c_load_far >= 0.0, "model_driver_output: negative far-end load");
-  LoadDescription net;
-  net.admittance_series = moments::distributed_line_admittance(
-      wire.resistance, wire.inductance, wire.capacitance, c_load_far);
-  net.z0 = wire.z0();
-  net.tf = wire.time_of_flight();
-  net.line_resistance = wire.resistance;
-  net.line_capacitance = wire.capacitance;
-  net.c_load = c_load_far;
-  return run_flow(driver, input_slew, net, options);
+  return model_driver_output(
+      driver, input_slew,
+      net::Net::uniform_line(wire.resistance, wire.inductance, wire.capacitance,
+                             c_load_far),
+      options);
 }
 
 DriverOutputModel model_driver_output(const charlib::CharacterizedDriver& driver,
                                       double input_slew,
                                       const moments::RlcBranch& tree,
                                       const DriverModelOptions& options) {
-  const moments::TreePathMetrics metrics = moments::tree_metrics(tree);
-  LoadDescription net;
-  net.admittance_series = moments::tree_admittance(tree);
-  net.z0 = metrics.z0;
-  net.tf = metrics.time_of_flight;
-  net.line_resistance = metrics.path_resistance;
-  net.line_capacitance = metrics.total_capacitance;
-  // Sink loads are folded into the leaf branches, so the external-load
-  // screen has nothing extra to test.
-  net.c_load = 0.0;
-  return run_flow(driver, input_slew, net, options);
+  return model_driver_output(driver, input_slew, net::Net::from_tree(tree), options);
 }
 
 }  // namespace rlceff::core

@@ -23,6 +23,7 @@
 #include "core/criteria.h"
 #include "moments/admittance.h"
 #include "moments/rational.h"
+#include "net/net.h"
 #include "tech/wire.h"
 #include "waveform/pwl.h"
 
@@ -91,17 +92,23 @@ struct DriverOutputModel {
   double t50 = 0.0;  // the waveform's 50 % crossing (the modeled gate delay)
 };
 
-// Runs the full flow for a uniform line with a far-end load.
+// Runs the full flow for any net::Net (uniform lines, multi-section routes,
+// branched trees).  The breakpoint, plateau and criteria use the dominant
+// root-to-leaf path (net::Net::metrics); the admittance moments use the whole
+// net (moments::net_admittance).
+DriverOutputModel model_driver_output(const charlib::CharacterizedDriver& driver,
+                                      double input_slew, const net::Net& net,
+                                      const DriverModelOptions& options = {});
+
+// Uniform line with a far-end load: adapter over the net::Net flow.
 DriverOutputModel model_driver_output(const charlib::CharacterizedDriver& driver,
                                       double input_slew,
                                       const tech::WireParasitics& wire,
                                       double c_load_far,
                                       const DriverModelOptions& options = {});
 
-// Tree variant: the load is a general RLC tree (receiver capacitances folded
-// into the leaf branches).  The breakpoint, plateau and criteria use the
-// dominant root-to-leaf path (moments::tree_metrics); the admittance moments
-// use the whole tree.
+// RLC tree (receiver capacitances folded into the leaf branches): adapter
+// over the net::Net flow via net::Net::from_tree.
 DriverOutputModel model_driver_output(const charlib::CharacterizedDriver& driver,
                                       double input_slew,
                                       const moments::RlcBranch& net,

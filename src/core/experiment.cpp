@@ -17,11 +17,12 @@ EdgeMetrics measure(const wave::Waveform& w, double vdd, double t_reference) {
 
 // Sizes the horizon so even the slowest (weak driver, long line) case fully
 // completes its 90 % crossing with margin.
-double auto_t_stop(const ExperimentCase& c, const tech::DeckOptions& deck) {
+double auto_t_stop(const ExperimentCase& c, const net::NetMetrics& metrics,
+                   const tech::DeckOptions& deck) {
   const double rs_estimate = 3.7e3 / c.driver_size;
-  const double c_total = c.wire.capacitance + c.c_load_far;
-  const double settle = 6.0 * (rs_estimate + c.wire.resistance) * c_total +
-                        4.0 * c.wire.time_of_flight();
+  const double c_total = metrics.wire_capacitance + metrics.load_capacitance;
+  const double settle = 6.0 * (rs_estimate + metrics.path_resistance) * c_total +
+                        4.0 * metrics.time_of_flight;
   return deck.t_start + c.input_slew + std::max(1e-9, settle);
 }
 
@@ -38,22 +39,24 @@ ExperimentResult run_experiment(const tech::Technology& technology,
   ExperimentResult out;
   out.scenario = scenario;
 
+  const net::NetMetrics metrics = scenario.net.metrics();
   tech::DeckOptions deck = options.deck;
-  deck.t_stop = auto_t_stop(scenario, options.deck);
+  deck.t_stop = auto_t_stop(scenario, metrics, options.deck);
 
-  // Reference ("HSPICE") run.
+  // Reference ("HSPICE") run; the "far end" is the dominant-path leaf.
   const tech::Inverter cell{scenario.driver_size};
-  tech::LineSimResult ref = tech::simulate_driver_line(
-      technology, cell, scenario.input_slew, scenario.wire, deck);
+  tech::NetSimResult ref = tech::simulate_driver_net(
+      technology, cell, scenario.input_slew, scenario.net, deck);
+  const wave::Waveform& ref_far = ref.leaves.at(metrics.dominant_leaf);
   out.input_time_50 = ref.input_time_50;
   out.ref_near = measure(ref.near_end, technology.vdd, ref.input_time_50);
-  out.ref_far = measure(ref.far_end, technology.vdd, ref.input_time_50);
+  out.ref_far = measure(ref_far, technology.vdd, ref.input_time_50);
 
   // Library model (the paper's flow).
   const charlib::CharacterizedDriver& driver =
       library.ensure_driver(technology, scenario.driver_size, options.grid);
-  out.model = model_driver_output(driver, scenario.input_slew, scenario.wire,
-                                  scenario.c_load_far, options.model);
+  out.model =
+      model_driver_output(driver, scenario.input_slew, scenario.net, options.model);
   {
     const wave::Waveform w = out.model.waveform.to_waveform(
         out.model.waveform.end_time() + deck.t_stop);
@@ -61,7 +64,7 @@ ExperimentResult run_experiment(const tech::Technology& technology,
   }
 
   if (options.include_far_end) {
-    // Replay the modeled waveform through the line in absolute deck time.
+    // Replay the modeled waveform through the net in absolute deck time.
     std::vector<std::pair<double, double>> pts = out.model.waveform.points();
     for (auto& [t, v] : pts) t += ref.input_time_50;
     // The source must start at 0 V from t = 0 for the DC operating point.
@@ -69,9 +72,10 @@ ExperimentResult run_experiment(const tech::Technology& technology,
       // anchored waveforms always begin at 0 V; nothing to do
     }
     const wave::Pwl absolute(std::move(pts));
-    tech::LineSimResult replay = tech::simulate_source_line(absolute, scenario.wire, deck);
-    out.model_far = measure(replay.far_end, technology.vdd, ref.input_time_50);
-    if (options.keep_waveforms) out.model_far_wave = replay.far_end;
+    tech::NetSimResult replay = tech::simulate_source_net(absolute, scenario.net, deck);
+    const wave::Waveform& replay_far = replay.leaves.at(metrics.dominant_leaf);
+    out.model_far = measure(replay_far, technology.vdd, ref.input_time_50);
+    if (options.keep_waveforms) out.model_far_wave = replay_far;
   }
 
   if (options.include_one_ramp) {
@@ -80,8 +84,8 @@ ExperimentResult run_experiment(const tech::Technology& technology,
     // The paper's Table-1/Fig-7 baseline is a *pure* single ramp; keep the
     // ref-[11] tail out of the comparison column.
     one.shielding_tail = false;
-    out.one_ramp = model_driver_output(driver, scenario.input_slew, scenario.wire,
-                                       scenario.c_load_far, one);
+    out.one_ramp =
+        model_driver_output(driver, scenario.input_slew, scenario.net, one);
     const wave::Waveform w = out.one_ramp.waveform.to_waveform(
         out.one_ramp.waveform.end_time() + deck.t_stop);
     out.one_near = measure(w, technology.vdd, 0.0);
@@ -89,7 +93,7 @@ ExperimentResult run_experiment(const tech::Technology& technology,
 
   if (options.keep_waveforms) {
     out.ref_near_wave = ref.near_end;
-    out.ref_far_wave = ref.far_end;
+    out.ref_far_wave = ref_far;
   }
   return out;
 }

@@ -1,6 +1,10 @@
-// Shared experiment harness: one paper test case = one driver + line
+// Shared experiment harness: one paper test case = one driver + interconnect
 // configuration, simulated ("HSPICE" column) and modeled (two-ramp and
 // one-ramp columns), with uniformly measured delay/slew.
+//
+// The interconnect is a net::Net, so the same harness sweeps uniform lines,
+// multi-section (tapered) routes and branched trees.  The "far end" columns
+// are measured at the dominant-path leaf (net::NetMetrics::dominant_leaf).
 //
 // All delays are 50 %-to-50 % from the input edge; slew is the raw 10-90 %
 // transition at the probe.  The same measurement code runs on simulated and
@@ -12,6 +16,7 @@
 
 #include "charlib/library.h"
 #include "core/driver_model.h"
+#include "net/net.h"
 #include "tech/testbench.h"
 
 namespace rlceff::core {
@@ -20,8 +25,7 @@ struct ExperimentCase {
   std::string label;
   double driver_size = 75.0;
   double input_slew = 100e-12;
-  tech::WireParasitics wire;
-  double c_load_far = 20e-15;
+  net::Net net;  // the interconnect the driver drives (see tech::line_net)
 };
 
 struct EdgeMetrics {

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "net/net.h"
 #include "util/error.h"
 
 namespace rlceff::moments {
@@ -39,10 +40,11 @@ Series ladder_admittance(double r_total, double l_total, double c_total, double 
   return y;
 }
 
-Series distributed_line_admittance(double r_total, double l_total, double c_total,
-                                   double c_far, std::size_t order) {
-  ensure(order >= 2, "distributed_line_admittance: order too small");
-  ensure(c_total > 0.0, "distributed_line_admittance: need line capacitance");
+Series distributed_section_admittance(double r_total, double l_total, double c_total,
+                                      const Series& load, std::size_t order) {
+  ensure(order >= 2, "distributed_section_admittance: order too small");
+  ensure(c_total > 0.0, "distributed_section_admittance: need line capacitance");
+  ensure(load.size() == order, "distributed_section_admittance: load order mismatch");
 
   // u = x^2 = s * C * (R + s L); every factor below is analytic in s:
   //   cosh(x)      = sum u^k / (2k)!
@@ -65,9 +67,14 @@ Series distributed_line_admittance(double r_total, double l_total, double c_tota
   const Series r_plus_sl({r_total, l_total}, order);
   const Series y0_sinh = s_c * sinhc_u;
   const Series z0_sinh = r_plus_sl * sinhc_u;
-  const Series y_load({0.0, c_far}, order);       // s * c_far
 
-  return (y0_sinh + cosh_x * y_load) / (cosh_x + z0_sinh * y_load);
+  return (y0_sinh + cosh_x * load) / (cosh_x + z0_sinh * load);
+}
+
+Series distributed_line_admittance(double r_total, double l_total, double c_total,
+                                   double c_far, std::size_t order) {
+  return distributed_section_admittance(r_total, l_total, c_total,
+                                        Series({0.0, c_far}, order), order);
 }
 
 Series tree_admittance(const RlcBranch& root, std::size_t order) {
@@ -75,6 +82,35 @@ Series tree_admittance(const RlcBranch& root, std::size_t order) {
   Series y({0.0, root.capacitance}, order);
   for (const RlcBranch& child : root.children) y += tree_admittance(child, order);
   return through_series_impedance(y, root.resistance, root.inductance);
+}
+
+namespace {
+
+// Looking into a branch: load plus children at the far end, then back through
+// the route's sections.  Lumped sections are one step of the tree recursion;
+// distributed sections cascade the exact uniform-line expansion.
+Series branch_admittance(const net::Branch& branch, std::size_t order) {
+  Series y({0.0, branch.c_load}, order);
+  for (const net::Branch& child : branch.children) {
+    y += branch_admittance(child, order);
+  }
+  for (auto it = branch.sections.rbegin(); it != branch.sections.rend(); ++it) {
+    if (it->kind == net::SectionKind::lumped) {
+      y += Series({0.0, it->capacitance}, order);
+      y = through_series_impedance(y, it->resistance, it->inductance);
+    } else {
+      y = distributed_section_admittance(it->resistance, it->inductance,
+                                         it->capacitance, y, order);
+    }
+  }
+  return y;
+}
+
+}  // namespace
+
+Series net_admittance(const net::Net& net, std::size_t order) {
+  ensure(order >= 2, "net_admittance: order too small");
+  return branch_admittance(net.root(), order);
 }
 
 namespace {

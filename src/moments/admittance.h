@@ -17,6 +17,10 @@
 
 #include "util/series.h"
 
+namespace rlceff::net {
+class Net;
+}
+
 namespace rlceff::moments {
 
 inline constexpr std::size_t default_order = 8;
@@ -33,6 +37,18 @@ util::Series ladder_admittance(double r_total, double l_total, double c_total,
 util::Series distributed_line_admittance(double r_total, double l_total,
                                          double c_total, double c_far,
                                          std::size_t order = default_order);
+
+// Same expansion terminated by an arbitrary load admittance series (the
+// cascade step for multi-section routes and net::Net branches).  `load` must
+// have the same truncation order.
+util::Series distributed_section_admittance(double r_total, double l_total,
+                                            double c_total, const util::Series& load,
+                                            std::size_t order = default_order);
+
+// Driving-point admittance series of a net::Net: lumped sections run the
+// RLC-tree recursion below, distributed sections cascade the exact
+// uniform-line expansion, branch points sum their children.
+util::Series net_admittance(const net::Net& net, std::size_t order = default_order);
 
 // An RLC tree branch: series (r, l) from the parent, shunt c at the far end
 // of the branch, then children hanging off that node.

@@ -1,0 +1,187 @@
+#include "net/net.h"
+
+#include <cmath>
+#include <cstdio>
+#include <unordered_set>
+
+#include "moments/admittance.h"
+#include "util/error.h"
+
+namespace rlceff::net {
+
+namespace {
+
+std::string fmt(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%g", v);
+  return buf;
+}
+
+// Branch paths in error messages read "root", "root/1", "root/1/0", ...
+std::string child_path(const std::string& parent, std::size_t index) {
+  return parent + "/" + std::to_string(index);
+}
+
+void validate_section(const Section& s, const std::string& branch_path,
+                      std::size_t index) {
+  const std::string where =
+      "net::Net: section " + std::to_string(index) + " of branch '" + branch_path + "'";
+  ensure(std::isfinite(s.resistance) && std::isfinite(s.inductance) &&
+             std::isfinite(s.capacitance),
+         where + " has non-finite parasitics");
+  ensure(s.inductance >= 0.0,
+         where + " has negative inductance (" + fmt(s.inductance) + " H)");
+  if (s.kind == SectionKind::distributed) {
+    // Distributed sections are real wire: they must carry loss and charge
+    // (this is what ckt::append_rlc_ladder requires to discretize them).
+    ensure(s.resistance > 0.0,
+           where + " has zero/negative resistance (" + fmt(s.resistance) + " ohm)");
+    ensure(s.capacitance > 0.0,
+           where + " has zero/negative capacitance (" + fmt(s.capacitance) + " F)");
+  } else {
+    ensure(s.resistance >= 0.0,
+           where + " has negative resistance (" + fmt(s.resistance) + " ohm)");
+    ensure(s.capacitance >= 0.0,
+           where + " has negative capacitance (" + fmt(s.capacitance) + " F)");
+    ensure(s.resistance > 0.0 || s.inductance > 0.0 || s.capacitance > 0.0,
+           where + " is a zero-length segment (R = L = C = 0)");
+  }
+}
+
+void validate_branch(const Branch& branch, const std::string& path,
+                     std::unordered_set<std::string>& probe_names) {
+  // A branch contributing no wire, no fan-out, and no load would compile to
+  // a phantom leaf at its parent junction.
+  ensure(!branch.sections.empty() || !branch.children.empty() || branch.c_load > 0.0,
+         "net::Net: branch '" + path + "' is empty (no sections, children, or load)");
+  for (std::size_t k = 0; k < branch.sections.size(); ++k) {
+    validate_section(branch.sections[k], path, k);
+  }
+  ensure(std::isfinite(branch.c_load) && branch.c_load >= 0.0,
+         "net::Net: branch '" + path + "' has a negative/non-finite load (" +
+             fmt(branch.c_load) + " F)");
+  if (!branch.probe.empty()) {
+    ensure(probe_names.insert(branch.probe).second,
+           "net::Net: duplicate probe name '" + branch.probe + "' at branch '" + path +
+               "'");
+  }
+  for (std::size_t k = 0; k < branch.children.size(); ++k) {
+    validate_branch(branch.children[k], child_path(path, k), probe_names);
+  }
+}
+
+double branch_capacitance(const Branch& branch) {
+  double c = branch.c_load;
+  for (const Section& s : branch.sections) c += s.capacitance;
+  for (const Branch& child : branch.children) c += branch_capacitance(child);
+  return c;
+}
+
+std::size_t count_leaves(const Branch& branch) {
+  if (branch.children.empty()) return 1;
+  std::size_t n = 0;
+  for (const Branch& child : branch.children) n += count_leaves(child);
+  return n;
+}
+
+struct PathState {
+  double r = 0.0;
+  double l = 0.0;
+  double c = 0.0;
+};
+
+void walk_metrics(const Branch& branch, PathState path, std::size_t& leaf_counter,
+                  NetMetrics& out) {
+  for (const Section& s : branch.sections) {
+    path.r += s.resistance;
+    path.l += s.inductance;
+    path.c += s.capacitance;
+    out.wire_capacitance += s.capacitance;
+  }
+  out.load_capacitance += branch.c_load;
+  if (branch.children.empty()) {
+    const std::size_t leaf = leaf_counter++;
+    if (path.l <= 0.0 || path.c <= 0.0) return;
+    const double tf = std::sqrt(path.l * path.c);
+    if (tf > out.time_of_flight) {
+      out.time_of_flight = tf;
+      out.z0 = std::sqrt(path.l / path.c);
+      out.path_resistance = path.r;
+      out.path_load = branch.c_load;
+      out.dominant_leaf = leaf;
+    }
+    return;
+  }
+  for (const Branch& child : branch.children) {
+    walk_metrics(child, path, leaf_counter, out);
+  }
+}
+
+Branch branch_from_tree(const moments::RlcBranch& tree) {
+  Branch out;
+  // An all-zero branch is a pure structural junction: no section to stamp.
+  if (tree.resistance != 0.0 || tree.inductance != 0.0 || tree.capacitance != 0.0) {
+    out.sections.push_back(
+        {tree.resistance, tree.inductance, tree.capacitance, SectionKind::lumped});
+  }
+  out.children.reserve(tree.children.size());
+  for (const moments::RlcBranch& child : tree.children) {
+    out.children.push_back(branch_from_tree(child));
+  }
+  return out;
+}
+
+}  // namespace
+
+Net::Net(Branch root) : root_(std::move(root)) {
+  ensure(!root_.sections.empty() || !root_.children.empty(),
+         "net::Net: empty net (no sections and no branches)");
+  std::unordered_set<std::string> probe_names;
+  validate_branch(root_, "root", probe_names);
+  ensure(branch_capacitance(root_) > 0.0, "net::Net: net has no capacitance");
+}
+
+Net Net::uniform_line(double resistance, double inductance, double capacitance,
+                      double c_load_far, std::string probe) {
+  Branch root;
+  root.sections.push_back(
+      {resistance, inductance, capacitance, SectionKind::distributed});
+  root.c_load = c_load_far;
+  root.probe = std::move(probe);
+  return Net(std::move(root));
+}
+
+Net Net::multi_section(std::vector<Section> sections, double c_load_far,
+                       std::string probe) {
+  ensure(!sections.empty(), "net::Net::multi_section: empty section list");
+  Branch root;
+  root.sections = std::move(sections);
+  root.c_load = c_load_far;
+  root.probe = std::move(probe);
+  return Net(std::move(root));
+}
+
+Net Net::from_tree(const moments::RlcBranch& root) {
+  return Net(branch_from_tree(root));
+}
+
+const Branch& Net::root() const {
+  ensure(!empty(), "net::Net: accessing an empty (default-constructed) net");
+  return root_;
+}
+
+std::size_t Net::leaf_count() const { return count_leaves(root()); }
+
+double Net::total_capacitance() const { return branch_capacitance(root()); }
+
+NetMetrics Net::metrics() const {
+  NetMetrics out;
+  std::size_t leaf_counter = 0;
+  walk_metrics(root(), {}, leaf_counter, out);
+  ensure(out.total_capacitance() > 0.0, "net::Net::metrics: net has no capacitance");
+  ensure(out.time_of_flight > 0.0,
+         "net::Net::metrics: no root-to-leaf path with both L and C");
+  return out;
+}
+
+}  // namespace rlceff::net

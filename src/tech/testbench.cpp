@@ -1,5 +1,6 @@
 #include "tech/testbench.h"
 
+#include <algorithm>
 #include <array>
 
 #include "circuit/builders.h"
@@ -16,7 +17,41 @@ sim::TransientOptions make_sim_options(const DeckOptions& options) {
   return s;
 }
 
+// Simulates a compiled net deck, probing the driving point, every leaf, and
+// every named probe (deduplicated — a named leaf is probed once).
+NetSimResult run_net_deck(ckt::Netlist& nl, ckt::NodeId out,
+                          const ckt::NetDeckNodes& nodes, double input_time_50,
+                          const DeckOptions& options) {
+  std::vector<ckt::NodeId> probes{out};
+  auto add_probe = [&probes](ckt::NodeId n) {
+    if (std::find(probes.begin(), probes.end(), n) == probes.end()) {
+      probes.push_back(n);
+    }
+  };
+  for (ckt::NodeId leaf : nodes.leaves) add_probe(leaf);
+  for (const auto& [name, node] : nodes.probes) add_probe(node);
+
+  const sim::TransientResult res = sim::simulate(nl, make_sim_options(options), probes);
+  NetSimResult result;
+  result.near_end = res.at(out);
+  result.leaves.reserve(nodes.leaves.size());
+  for (ckt::NodeId leaf : nodes.leaves) result.leaves.push_back(res.at(leaf));
+  result.probes.reserve(nodes.probes.size());
+  for (const auto& [name, node] : nodes.probes) {
+    result.probes.emplace_back(name, res.at(node));
+  }
+  result.input_time_50 = input_time_50;
+  return result;
+}
+
 }  // namespace
+
+const wave::Waveform& NetSimResult::probe(std::string_view name) const {
+  for (const auto& [probe_name, waveform] : probes) {
+    if (probe_name == name) return waveform;
+  }
+  throw Error("NetSimResult: no probe named '" + std::string(name) + "'");
+}
 
 wave::Pwl falling_input(const Technology& tech, double t_start, double input_slew) {
   ensure(input_slew > 0.0, "falling_input: slew must be positive");
@@ -39,108 +74,70 @@ wave::Waveform simulate_driver_cap_load(const Technology& tech, const Inverter& 
   return sim::simulate(nl, make_sim_options(options), probes).at(out);
 }
 
-LineSimResult simulate_driver_line(const Technology& tech, const Inverter& cell,
-                                   double input_slew, const WireParasitics& wire,
-                                   const DeckOptions& options) {
+NetSimResult simulate_driver_net(const Technology& tech, const Inverter& cell,
+                                 double input_slew, const net::Net& net,
+                                 const DeckOptions& options) {
   ckt::Netlist nl;
   const ckt::NodeId in = nl.node("in");
   const ckt::NodeId out = nl.node("out");
   nl.add_vsource(in, ckt::ground, falling_input(tech, options.t_start, input_slew));
   add_inverter(nl, tech, cell, in, out);
-  const ckt::LadderNodes line = ckt::append_rlc_ladder(
-      nl, out, wire.resistance, wire.inductance, wire.capacitance, options.segments);
-  nl.add_capacitor(line.far_end, ckt::ground, options.c_load_far);
-
-  const std::array<ckt::NodeId, 2> probes{out, line.far_end};
-  sim::TransientResult res = sim::simulate(nl, make_sim_options(options), probes);
-  return {res.at(out), res.at(line.far_end), options.t_start + 0.5 * input_slew};
+  const ckt::NetDeckNodes nodes = ckt::append_net(nl, out, net, options.segments);
+  return run_net_deck(nl, out, nodes, options.t_start + 0.5 * input_slew, options);
 }
 
-namespace {
-
-// Recursively instantiates a tree net; collects leaf nodes depth-first.
-void build_tree(ckt::Netlist& nl, ckt::NodeId from, const moments::RlcBranch& branch,
-                std::size_t segments, std::vector<ckt::NodeId>& leaves) {
-  ckt::NodeId far = from;
-  if (branch.resistance > 0.0 && branch.capacitance > 0.0) {
-    far = ckt::append_rlc_ladder(nl, from, branch.resistance, branch.inductance,
-                                 branch.capacitance, segments)
-              .far_end;
-  } else if (branch.capacitance > 0.0) {
-    nl.add_capacitor(from, ckt::ground, branch.capacitance);
-  }
-  if (branch.children.empty()) {
-    leaves.push_back(far);
-    return;
-  }
-  for (const moments::RlcBranch& child : branch.children) {
-    build_tree(nl, far, child, segments, leaves);
-  }
-}
-
-TreeSimResult run_tree_deck(ckt::Netlist& nl, ckt::NodeId out,
-                            const std::vector<ckt::NodeId>& leaves,
-                            double input_time_50, const DeckOptions& options) {
-  std::vector<ckt::NodeId> probes;
-  probes.push_back(out);
-  probes.insert(probes.end(), leaves.begin(), leaves.end());
-  sim::TransientResult res = sim::simulate(nl, make_sim_options(options), probes);
-  TreeSimResult result;
-  result.near_end = res.at(out);
-  for (ckt::NodeId leaf : leaves) result.leaves.push_back(res.at(leaf));
-  result.input_time_50 = input_time_50;
-  return result;
-}
-
-}  // namespace
-
-TreeSimResult simulate_driver_tree(const Technology& tech, const Inverter& cell,
-                                   double input_slew, const moments::RlcBranch& net,
-                                   const DeckOptions& options,
-                                   std::size_t segments_per_branch) {
-  ckt::Netlist nl;
-  const ckt::NodeId in = nl.node("in");
-  const ckt::NodeId out = nl.node("out");
-  nl.add_vsource(in, ckt::ground, falling_input(tech, options.t_start, input_slew));
-  add_inverter(nl, tech, cell, in, out);
-  std::vector<ckt::NodeId> leaves;
-  build_tree(nl, out, net, segments_per_branch, leaves);
-  return run_tree_deck(nl, out, leaves, options.t_start + 0.5 * input_slew, options);
-}
-
-TreeSimResult simulate_source_tree(const wave::Pwl& source,
-                                   const moments::RlcBranch& net,
-                                   const DeckOptions& options,
-                                   std::size_t segments_per_branch) {
+NetSimResult simulate_source_net(const wave::Pwl& source, const net::Net& net,
+                                 const DeckOptions& options) {
   ckt::Netlist nl;
   const ckt::NodeId out = nl.node("out");
   nl.add_vsource(out, ckt::ground, source);
-  std::vector<ckt::NodeId> leaves;
-  build_tree(nl, out, net, segments_per_branch, leaves);
+  const ckt::NetDeckNodes nodes = ckt::append_net(nl, out, net, options.segments);
+  NetSimResult result = run_net_deck(nl, out, nodes, 0.0, options);
+  // For an ideal source the "input" and near end coincide; report the source
+  // 50 % crossing so sink delays have a reference.
   const double v_final = source.final_value();
-  TreeSimResult result = run_tree_deck(nl, out, leaves, 0.0, options);
   result.input_time_50 =
       result.near_end.first_crossing(0.5 * v_final, v_final > 0.0)
           .value_or(source.start_time());
   return result;
 }
 
+// ---- legacy adapters -----------------------------------------------------
+
+LineSimResult simulate_driver_line(const Technology& tech, const Inverter& cell,
+                                   double input_slew, const WireParasitics& wire,
+                                   const DeckOptions& options) {
+  NetSimResult r = simulate_driver_net(tech, cell, input_slew,
+                                       line_net(wire, options.c_load_far), options);
+  return {std::move(r.near_end), std::move(r.leaves.front()), r.input_time_50};
+}
+
 LineSimResult simulate_source_line(const wave::Pwl& source, const WireParasitics& wire,
                                    const DeckOptions& options) {
-  ckt::Netlist nl;
-  const ckt::NodeId out = nl.node("out");
-  nl.add_vsource(out, ckt::ground, source);
-  const ckt::LadderNodes line = ckt::append_rlc_ladder(
-      nl, out, wire.resistance, wire.inductance, wire.capacitance, options.segments);
-  nl.add_capacitor(line.far_end, ckt::ground, options.c_load_far);
+  NetSimResult r =
+      simulate_source_net(source, line_net(wire, options.c_load_far), options);
+  return {std::move(r.near_end), std::move(r.leaves.front()), r.input_time_50};
+}
 
-  const std::array<ckt::NodeId, 2> probes{out, line.far_end};
-  sim::TransientResult res = sim::simulate(nl, make_sim_options(options), probes);
-  // For an ideal source the "input" and near end coincide; report the source
-  // 50 % crossing so far-end delays have a reference.
-  const double v_final = source.final_value();
-  const auto t50 = res.at(out).first_crossing(0.5 * v_final, v_final > 0.0);
-  return {res.at(out), res.at(line.far_end), t50.value_or(source.start_time())};
+TreeSimResult simulate_driver_tree(const Technology& tech, const Inverter& cell,
+                                   double input_slew, const moments::RlcBranch& net,
+                                   const DeckOptions& options,
+                                   std::size_t segments_per_branch) {
+  DeckOptions o = options;
+  o.segments = segments_per_branch;
+  NetSimResult r =
+      simulate_driver_net(tech, cell, input_slew, net::Net::from_tree(net), o);
+  return {std::move(r.near_end), std::move(r.leaves), r.input_time_50};
+}
+
+TreeSimResult simulate_source_tree(const wave::Pwl& source,
+                                   const moments::RlcBranch& net,
+                                   const DeckOptions& options,
+                                   std::size_t segments_per_branch) {
+  DeckOptions o = options;
+  o.segments = segments_per_branch;
+  NetSimResult r = simulate_source_net(source, net::Net::from_tree(net), o);
+  return {std::move(r.near_end), std::move(r.leaves), r.input_time_50};
 }
 
 }  // namespace rlceff::tech

@@ -2,9 +2,16 @@
 //
 // Every experiment in the paper is one of three decks:
 //   1. an inverter driving a pure capacitive load (library characterization),
-//   2. an inverter driving a discretized RLC line (the "HSPICE" reference),
-//   3. an ideal PWL source driving the same line (replaying a modeled driver
-//      output waveform to validate the far-end response, Fig 6).
+//   2. an inverter driving a discretized interconnect net (the "HSPICE"
+//      reference),
+//   3. an ideal PWL source driving the same net (replaying a modeled driver
+//      output waveform to validate the sink responses, Fig 6).
+//
+// Decks 2 and 3 take any net::Net — uniform lines, multi-section routes, and
+// branched trees all compile through ckt::append_net.  The legacy
+// WireParasitics / moments::RlcBranch entry points survive as one-line
+// adapters that wrap the corresponding net into a Net first; new code should
+// build a Net and call simulate_driver_net / simulate_source_net.
 //
 // The input stimulus is a falling saturated ramp (so the driver output
 // rises), starting after a short DC hold.  All waveforms are returned in
@@ -13,7 +20,13 @@
 #ifndef RLCEFF_TECH_TESTBENCH_H
 #define RLCEFF_TECH_TESTBENCH_H
 
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
 #include "moments/admittance.h"
+#include "net/net.h"
 #include "sim/transient.h"
 #include "tech/inverter.h"
 #include "tech/technology.h"
@@ -27,15 +40,20 @@ struct DeckOptions {
   double t_start = 10e-12;       // input edge begins here [s]
   double t_stop = 2e-9;          // simulation horizon [s]
   double dt = 0.25e-12;          // time step [s]
-  std::size_t segments = 120;    // ladder discretization of the line
-  double c_load_far = 20e-15;    // receiver load at the far end [F]
+  std::size_t segments = 120;    // ladder discretization per net section
+  double c_load_far = 20e-15;    // far-end load used by the legacy line decks [F]
   sim::TransientOptions sim;     // solver controls (t_stop/dt overridden)
 };
 
-struct LineSimResult {
-  wave::Waveform near_end;  // driver output
-  wave::Waveform far_end;
+// Simulation of a driver (or source) into a net::Net.
+struct NetSimResult {
+  wave::Waveform near_end;                                   // driver output
+  std::vector<wave::Waveform> leaves;                        // depth-first leaf order
+  std::vector<std::pair<std::string, wave::Waveform>> probes;  // named probes
   double input_time_50 = 0.0;  // 50 % crossing of the input stimulus
+
+  // Named-probe lookup; throws when the net declared no such probe.
+  const wave::Waveform& probe(std::string_view name) const;
 };
 
 // Falling input ramp (Vdd -> 0) with full-swing transition time input_slew.
@@ -48,18 +66,34 @@ wave::Waveform simulate_driver_cap_load(const Technology& tech, const Inverter& 
                                         const DeckOptions& options,
                                         double* input_time_50 = nullptr);
 
-// Deck 2: driver into an RLC ladder with a far-end receiver load.
+// Deck 2: driver into a discretized net::Net.
+NetSimResult simulate_driver_net(const Technology& tech, const Inverter& cell,
+                                 double input_slew, const net::Net& net,
+                                 const DeckOptions& options);
+
+// Deck 3: ideal source waveform into the same net.  input_time_50 is the
+// source's own 50 % crossing so sink delays have a reference.
+NetSimResult simulate_source_net(const wave::Pwl& source, const net::Net& net,
+                                 const DeckOptions& options);
+
+// ---- legacy adapters -----------------------------------------------------
+// Deprecated spellings of decks 2/3 for uniform lines (with
+// options.c_load_far at the far end) and moments::RlcBranch trees.  Each is a
+// thin wrapper over the net::Net entry points above.
+
+struct LineSimResult {
+  wave::Waveform near_end;  // driver output
+  wave::Waveform far_end;
+  double input_time_50 = 0.0;  // 50 % crossing of the input stimulus
+};
+
 LineSimResult simulate_driver_line(const Technology& tech, const Inverter& cell,
                                    double input_slew, const WireParasitics& wire,
                                    const DeckOptions& options);
 
-// Deck 3: ideal source waveform into the same ladder.
 LineSimResult simulate_source_line(const wave::Pwl& source, const WireParasitics& wire,
                                    const DeckOptions& options);
 
-// Tree decks: each moments::RlcBranch becomes a discretized ladder segment;
-// children hang off its far end; receiver loads belong in the leaf branches'
-// capacitance.  Leaf waveforms are returned in depth-first order.
 struct TreeSimResult {
   wave::Waveform near_end;
   std::vector<wave::Waveform> leaves;

@@ -47,12 +47,16 @@ const std::array<PaperWireCase, 16> cases = {{
 }  // namespace
 
 double WireParasitics::z0() const {
-  ensure(inductance > 0.0 && capacitance > 0.0, "WireParasitics: need L and C for Z0");
+  ensure(capacitance > 0.0,
+         "WireParasitics::z0: zero/negative capacitance (division by zero)");
+  ensure(inductance > 0.0, "WireParasitics::z0: zero/negative inductance");
   return std::sqrt(inductance / capacitance);
 }
 
 double WireParasitics::time_of_flight() const {
-  ensure(inductance > 0.0 && capacitance > 0.0, "WireParasitics: need L and C for tf");
+  ensure(capacitance > 0.0,
+         "WireParasitics::time_of_flight: zero/negative capacitance");
+  ensure(inductance > 0.0, "WireParasitics::time_of_flight: zero/negative inductance");
   return std::sqrt(inductance * capacitance);
 }
 
@@ -84,6 +88,24 @@ WireParasitics WireModel::extract(const WireGeometry& geometry) const {
 }
 
 std::span<const PaperWireCase> paper_wire_cases() { return cases; }
+
+net::Net line_net(const WireParasitics& wire, double c_load_far) {
+  return net::Net::uniform_line(wire.resistance, wire.inductance, wire.capacitance,
+                                c_load_far);
+}
+
+net::Net route_net(const WireModel& model, std::span<const WireGeometry> route,
+                   double c_load_far) {
+  ensure(!route.empty(), "route_net: empty route");
+  std::vector<net::Section> sections;
+  sections.reserve(route.size());
+  for (const WireGeometry& geometry : route) {
+    const WireParasitics p = model.extract(geometry);
+    sections.push_back({p.resistance, p.inductance, p.capacitance,
+                        net::SectionKind::distributed});
+  }
+  return net::Net::multi_section(std::move(sections), c_load_far);
+}
 
 std::optional<WireParasitics> find_paper_wire_case(double length_mm, double width_um) {
   for (const PaperWireCase& c : cases) {

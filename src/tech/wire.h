@@ -17,6 +17,9 @@
 
 #include <optional>
 #include <span>
+#include <vector>
+
+#include "net/net.h"
 
 namespace rlceff::tech {
 
@@ -58,6 +61,16 @@ std::span<const PaperWireCase> paper_wire_cases();
 
 // Looks up a printed case by geometry (0.05 mm / 0.05 um tolerance).
 std::optional<WireParasitics> find_paper_wire_case(double length_mm, double width_um);
+
+// The canonical "uniform line + far-end receiver" interconnect as a net::Net
+// (the IR every layer consumes; see net/net.h).
+net::Net line_net(const WireParasitics& wire, double c_load_far);
+
+// A multi-section route as a net::Net: one uniform distributed section per
+// geometry entry, near to far (e.g. a width-tapered global wire), terminated
+// by a receiver load.
+net::Net route_net(const WireModel& model, std::span<const WireGeometry> route,
+                   double c_load_far);
 
 }  // namespace rlceff::tech
 

@@ -54,7 +54,7 @@ TEST_F(IntegrationFixture, InductiveCaseTwoRampBeatsOneRamp) {
   ExperimentCase c;
   c.driver_size = 100.0;
   c.input_slew = 100 * ps;
-  c.wire = *tech::find_paper_wire_case(5.0, 1.6);
+  c.net = tech::line_net(*tech::find_paper_wire_case(5.0, 1.6), 20 * ff);
   const ExperimentResult r = run_experiment(*technology_, *library_, c, fast_options());
 
   ASSERT_EQ(ModelKind::two_ramp, r.model.kind);
@@ -72,7 +72,7 @@ TEST_F(IntegrationFixture, FarEndReplayTracksReference) {
   ExperimentCase c;
   c.driver_size = 100.0;
   c.input_slew = 100 * ps;
-  c.wire = *tech::find_paper_wire_case(5.0, 1.6);
+  c.net = tech::line_net(*tech::find_paper_wire_case(5.0, 1.6), 20 * ff);
   const ExperimentResult r = run_experiment(*technology_, *library_, c, fast_options());
   // Fig 6 right: the two-ramp source reproduces the far-end delay closely.
   EXPECT_LT(std::abs(pct_error(r.model_far.delay, r.ref_far.delay)), 10.0);
@@ -83,7 +83,7 @@ TEST_F(IntegrationFixture, RcLikeCaseUsesOneRampAndIsAccurate) {
   ExperimentCase c;
   c.driver_size = 25.0;
   c.input_slew = 100 * ps;
-  c.wire = *tech::find_paper_wire_case(4.0, 1.6);
+  c.net = tech::line_net(*tech::find_paper_wire_case(4.0, 1.6), 20 * ff);
   const ExperimentResult r = run_experiment(*technology_, *library_, c, fast_options());
 
   EXPECT_EQ(ModelKind::one_ramp, r.model.kind);
@@ -101,9 +101,9 @@ TEST_F(IntegrationFixture, WideLineIncreasesOneRampError) {
   ExperimentCase narrow;
   narrow.driver_size = 75.0;
   narrow.input_slew = 50 * ps;
-  narrow.wire = *tech::find_paper_wire_case(3.0, 0.8);
+  narrow.net = tech::line_net(*tech::find_paper_wire_case(3.0, 0.8), 20 * ff);
   ExperimentCase wide = narrow;
-  wide.wire = *tech::find_paper_wire_case(3.0, 1.6);
+  wide.net = tech::line_net(*tech::find_paper_wire_case(3.0, 1.6), 20 * ff);
 
   const ExperimentResult rn = run_experiment(*technology_, *library_, narrow, opt);
   const ExperimentResult rw = run_experiment(*technology_, *library_, wide, opt);
@@ -115,10 +115,11 @@ TEST_F(IntegrationFixture, WideLineIncreasesOneRampError) {
 TEST_F(IntegrationFixture, ModeledBreakpointMatchesSimulatedPlateau) {
   // The Eq-1 breakpoint should sit near the simulated waveform's voltage at
   // the moment the first reflection returns (2 tf after launch).
+  const tech::WireParasitics wire = *tech::find_paper_wire_case(5.0, 1.6);
   ExperimentCase c;
   c.driver_size = 100.0;
   c.input_slew = 100 * ps;
-  c.wire = *tech::find_paper_wire_case(5.0, 1.6);
+  c.net = tech::line_net(wire, 20 * ff);
   ExperimentOptions opt = fast_options();
   opt.keep_waveforms = true;
   const ExperimentResult r = run_experiment(*technology_, *library_, c, opt);
@@ -126,7 +127,7 @@ TEST_F(IntegrationFixture, ModeledBreakpointMatchesSimulatedPlateau) {
   const auto launch = r.ref_near_wave.first_crossing(0.1 * technology_->vdd, true);
   ASSERT_TRUE(launch.has_value());
   const double v_plateau =
-      r.ref_near_wave.value_at(*launch + 2.0 * c.wire.time_of_flight());
+      r.ref_near_wave.value_at(*launch + 2.0 * wire.time_of_flight());
   EXPECT_NEAR(r.model.f * technology_->vdd, v_plateau, 0.25 * technology_->vdd);
 }
 
@@ -134,7 +135,7 @@ TEST_F(IntegrationFixture, KeepWaveformsPopulatesTraces) {
   ExperimentCase c;
   c.driver_size = 100.0;
   c.input_slew = 100 * ps;
-  c.wire = *tech::find_paper_wire_case(3.0, 1.2);
+  c.net = tech::line_net(*tech::find_paper_wire_case(3.0, 1.2), 20 * ff);
   ExperimentOptions opt = fast_options();
   opt.keep_waveforms = true;
   const ExperimentResult r = run_experiment(*technology_, *library_, c, opt);
