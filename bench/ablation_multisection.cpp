@@ -54,25 +54,24 @@ int main() {
   const std::vector<double> tapers = {1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0};
   const tech::WireModel wires;
 
-  std::vector<core::ExperimentCase> cases;
+  std::vector<api::Request> cases;
   for (double taper : tapers) {
-    core::ExperimentCase c;
-    c.driver_size = 100.0;
-    c.input_slew = 100 * ps;
-    c.net = tapered_route(wires, taper);
-    cases.push_back(std::move(c));
+    api::Request r;
+    char label[32];
+    std::snprintf(label, sizeof label, "taper %.2f", taper);
+    r.label = label;
+    r.cell_size = 100.0;
+    r.input_slew = 100 * ps;
+    r.net = tapered_route(wires, taper);
+    r.reference = true;
+    cases.push_back(std::move(r));
   }
-
-  core::ExperimentOptions opt = bench::sweep_fidelity();
-  opt.include_one_ramp = false;
 
   std::printf("# simulating %zu taper points on %u threads\n", cases.size(),
               sim::sweep_worker_count(cases.size(), 0));
   std::fflush(stdout);
-  const std::vector<core::ExperimentResult> results = sim::run_sweep(
-      cases, [&](const core::ExperimentCase& c) {
-        return core::run_experiment(bench::technology(), bench::library(), c, opt);
-      });
+  const std::vector<api::Response> results =
+      bench::unwrap(bench::engine().run_batch(cases, bench::sweep_fidelity()));
 
   std::printf("\n%-7s %-6s %-6s | %19s | %19s | %19s\n", "taper", "Z0", "tf",
               "-- near delay  --", "--  near slew  --", "--  far delay  --");
@@ -81,8 +80,8 @@ int main() {
 
   std::vector<double> delay_errs, slew_errs, far_delay_errs;
   for (std::size_t k = 0; k < results.size(); ++k) {
-    const core::ExperimentResult& r = results[k];
-    const net::NetMetrics m = r.scenario.net.metrics();
+    const api::Response& r = results[k];
+    const net::NetMetrics m = cases[k].net.metrics();
     delay_errs.push_back(core::pct_error(r.model_near.delay, r.ref_near.delay));
     slew_errs.push_back(core::pct_error(r.model_near.slew, r.ref_near.slew));
     far_delay_errs.push_back(core::pct_error(r.model_far.delay, r.ref_far.delay));

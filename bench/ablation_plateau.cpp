@@ -48,17 +48,24 @@ int main() {
   };
 
   for (const auto& mode : modes) {
-    Stats s;
+    std::vector<api::Request> requests;
     for (const Row& row : rows) {
-      core::ExperimentCase c;
-      c.driver_size = row.size;
-      c.input_slew = row.slew_ps * ps;
-      c.net = tech::line_net(*tech::find_paper_wire_case(row.length_mm, row.width_um), 20 * ff);
-      core::ExperimentOptions opt = bench::sweep_fidelity();
-      opt.include_one_ramp = false;
-      opt.model.selection = core::ModelSelection::force_two_ramp;
-      opt.model.plateau = mode.mode;
-      const auto r = core::run_experiment(bench::technology(), bench::library(), c, opt);
+      api::Request r;
+      char label[64];
+      std::snprintf(label, sizeof label, "%s %g/%g", mode.name, row.length_mm,
+                    row.width_um);
+      r.label = label;
+      r.cell_size = row.size;
+      r.input_slew = row.slew_ps * ps;
+      r.net = tech::line_net(*tech::find_paper_wire_case(row.length_mm, row.width_um), 20 * ff);
+      r.reference = true;
+      r.model.selection = core::ModelSelection::force_two_ramp;
+      r.model.plateau = mode.mode;
+      requests.push_back(std::move(r));
+    }
+    Stats s;
+    for (const api::Response& r :
+         bench::unwrap(bench::engine().run_batch(requests, bench::sweep_fidelity()))) {
       s.near_delay.push_back(core::pct_error(r.model_near.delay, r.ref_near.delay));
       s.near_slew.push_back(core::pct_error(r.model_near.slew, r.ref_near.slew));
       s.far_delay.push_back(core::pct_error(r.model_far.delay, r.ref_far.delay));

@@ -34,22 +34,35 @@ int main() {
   std::printf("\n%-22s %10s %8s | %10s %8s | %12s %12s\n", "case", "Rs(Ctot)",
               "f(Ctot)", "Rs(Ceff1)", "f(Ceff1)", "d-err shift", "s-err shift");
 
-  std::vector<double> delay_shift, slew_shift, f_shift;
+  // One batch: for each row, the Ctotal extraction followed by the Ceff1
+  // re-extraction ablation of the same case.
+  std::vector<api::Request> requests;
   for (const Row& row : rows) {
-    core::ExperimentCase c;
-    c.driver_size = row.size;
-    c.input_slew = row.slew_ps * ps;
-    c.net = tech::line_net(*tech::find_paper_wire_case(row.length_mm, row.width_um), 20 * ff);
+    api::Request r;
+    char label[64];
+    std::snprintf(label, sizeof label, "%g/%g %gX %gps", row.length_mm, row.width_um,
+                  row.size, row.slew_ps);
+    r.label = label;
+    r.cell_size = row.size;
+    r.input_slew = row.slew_ps * ps;
+    r.net = tech::line_net(*tech::find_paper_wire_case(row.length_mm, row.width_um), 20 * ff);
+    r.reference = true;
+    r.far_end = false;
+    r.model.selection = core::ModelSelection::force_two_ramp;
 
-    core::ExperimentOptions opt = bench::sweep_fidelity();
-    opt.include_one_ramp = false;
-    opt.include_far_end = false;
-    opt.model.selection = core::ModelSelection::force_two_ramp;
+    r.model.rs_at_total_cap = true;
+    requests.push_back(r);
+    r.model.rs_at_total_cap = false;
+    requests.push_back(std::move(r));
+  }
+  const std::vector<api::Response> results =
+      bench::unwrap(bench::engine().run_batch(requests, bench::sweep_fidelity()));
 
-    opt.model.rs_at_total_cap = true;
-    const auto r_tot = core::run_experiment(bench::technology(), bench::library(), c, opt);
-    opt.model.rs_at_total_cap = false;
-    const auto r_eff = core::run_experiment(bench::technology(), bench::library(), c, opt);
+  std::vector<double> delay_shift, slew_shift, f_shift;
+  for (std::size_t k = 0; k < rows.size(); ++k) {
+    const Row& row = rows[k];
+    const api::Response& r_tot = results[2 * k];
+    const api::Response& r_eff = results[2 * k + 1];
 
     const double d_tot = core::pct_error(r_tot.model_near.delay, r_tot.ref_near.delay);
     const double d_eff = core::pct_error(r_eff.model_near.delay, r_eff.ref_near.delay);

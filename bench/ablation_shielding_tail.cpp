@@ -30,22 +30,35 @@ int main() {
   std::printf("\n%-18s | %10s | %22s | %22s\n", "case (all 100 ps)", "ref slew",
               "plain ramp slew (err)", "ramp + tail slew (err)");
 
-  std::vector<double> plain_errs, tail_errs;
+  // One batch: for each row, the plain one-ramp followed by the ramp+tail
+  // variant of the same case.
+  std::vector<api::Request> requests;
   for (const Row& row : rows) {
-    core::ExperimentCase c;
-    c.driver_size = row.size;
-    c.input_slew = 100 * ps;
-    c.net = tech::line_net(*tech::find_paper_wire_case(row.length_mm, row.width_um), 20 * ff);
+    api::Request r;
+    char label[64];
+    std::snprintf(label, sizeof label, "%g/%g %gX", row.length_mm, row.width_um,
+                  row.size);
+    r.label = label;
+    r.cell_size = row.size;
+    r.input_slew = 100 * ps;
+    r.net = tech::line_net(*tech::find_paper_wire_case(row.length_mm, row.width_um), 20 * ff);
+    r.reference = true;
+    r.far_end = false;
+    r.model.selection = core::ModelSelection::force_one_ramp;
 
-    core::ExperimentOptions opt = bench::sweep_fidelity();
-    opt.include_far_end = false;
-    opt.include_one_ramp = false;
-    opt.model.selection = core::ModelSelection::force_one_ramp;
+    r.model.shielding_tail = false;
+    requests.push_back(r);
+    r.model.shielding_tail = true;
+    requests.push_back(std::move(r));
+  }
+  const std::vector<api::Response> results =
+      bench::unwrap(bench::engine().run_batch(requests, bench::sweep_fidelity()));
 
-    opt.model.shielding_tail = false;
-    const auto plain = core::run_experiment(bench::technology(), bench::library(), c, opt);
-    opt.model.shielding_tail = true;
-    const auto tail = core::run_experiment(bench::technology(), bench::library(), c, opt);
+  std::vector<double> plain_errs, tail_errs;
+  for (std::size_t k = 0; k < rows.size(); ++k) {
+    const Row& row = rows[k];
+    const api::Response& plain = results[2 * k];
+    const api::Response& tail = results[2 * k + 1];
 
     const double e_plain = core::pct_error(plain.model_near.slew, plain.ref_near.slew);
     const double e_tail = core::pct_error(tail.model_near.slew, tail.ref_near.slew);

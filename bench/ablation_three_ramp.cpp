@@ -31,18 +31,25 @@ int main() {
   bench::warm_library({75.0, 100.0});
 
   for (bool three : {false, true}) {
+    std::vector<api::Request> requests;
+    for (const Row& row : rows) {
+      api::Request r;
+      char label[64];
+      std::snprintf(label, sizeof label, "%s %g/%g", three ? "3ramp" : "2ramp",
+                    row.length_mm, row.width_um);
+      r.label = label;
+      r.cell_size = row.size;
+      r.input_slew = row.slew_ps * ps;
+      r.net = tech::line_net(*tech::find_paper_wire_case(row.length_mm, row.width_um), 20 * ff);
+      r.reference = true;
+      r.model.selection = core::ModelSelection::force_two_ramp;
+      r.model.three_ramp_extension = three;
+      requests.push_back(std::move(r));
+    }
     std::vector<double> near_delay, near_slew, far_delay, far_slew;
     std::size_t promoted = 0;
-    for (const Row& row : rows) {
-      core::ExperimentCase c;
-      c.driver_size = row.size;
-      c.input_slew = row.slew_ps * ps;
-      c.net = tech::line_net(*tech::find_paper_wire_case(row.length_mm, row.width_um), 20 * ff);
-      core::ExperimentOptions opt = bench::sweep_fidelity();
-      opt.include_one_ramp = false;
-      opt.model.selection = core::ModelSelection::force_two_ramp;
-      opt.model.three_ramp_extension = three;
-      const auto r = core::run_experiment(bench::technology(), bench::library(), c, opt);
+    for (const api::Response& r :
+         bench::unwrap(bench::engine().run_batch(requests, bench::sweep_fidelity()))) {
       if (r.model.kind == core::ModelKind::three_ramp) ++promoted;
       near_delay.push_back(core::pct_error(r.model_near.delay, r.ref_near.delay));
       near_slew.push_back(core::pct_error(r.model_near.slew, r.ref_near.slew));

@@ -1,9 +1,11 @@
 #include "bench_common.h"
 
 #include <cstdio>
+#include <cstdlib>
 
 #include <exception>
 #include <fstream>
+#include <span>
 #include <utility>
 
 #include "util/error.h"
@@ -16,47 +18,66 @@ namespace {
 constexpr const char* cache_path = "rlceff_cells.lib";
 }
 
-charlib::CellLibrary& library() {
-  static charlib::CellLibrary lib = [] {
-    std::ifstream probe(cache_path);
-    if (probe.good()) {
-      try {
-        return charlib::CellLibrary::load(probe);
-      } catch (const Error&) {
-        // Corrupt cache: fall through and re-characterize on demand.
-      }
+api::Engine& engine() {
+  static api::Engine eng{tech::Technology::cmos180()};
+  static const bool loaded = [] {
+    try {
+      eng.load_library(cache_path);
+    } catch (const Error&) {
+      // Corrupt cache: fall through and re-characterize on demand.
     }
-    return charlib::CellLibrary();
+    return true;
   }();
-  return lib;
+  (void)loaded;
+  return eng;
 }
+
+const tech::Technology& technology() { return engine().technology(); }
+
+charlib::CellLibrary& library() { return engine().library(); }
 
 void warm_library(const std::vector<double>& sizes) {
-  charlib::CellLibrary& lib = library();
-  bool dirty = false;
+  api::Engine& eng = engine();
+  std::vector<double> missing;
   for (double size : sizes) {
-    if (lib.find(size) == nullptr) {
-      std::printf("# characterizing %gX driver (cached in %s)...\n", size, cache_path);
-      std::fflush(stdout);
-      lib.ensure_driver(technology(), size);
-      dirty = true;
-    }
+    if (eng.library().find(size) == nullptr) missing.push_back(size);
   }
-  if (dirty) lib.save_file(cache_path);
+  if (missing.empty()) return;
+  for (double size : missing) {
+    std::printf("# characterizing %gX driver (cached in %s)...\n", size, cache_path);
+  }
+  std::fflush(stdout);
+  eng.warm_cache(std::span<const double>(missing));
+  eng.save_library(cache_path);
 }
 
-core::ExperimentOptions full_fidelity() {
-  core::ExperimentOptions opt;
+api::BatchOptions full_fidelity() {
+  api::BatchOptions opt;
   opt.deck.segments = 120;
   opt.deck.dt = 0.25 * units::ps;
   return opt;
 }
 
-core::ExperimentOptions sweep_fidelity() {
-  core::ExperimentOptions opt;
+api::BatchOptions sweep_fidelity() {
+  api::BatchOptions opt;
   opt.deck.segments = 80;
   opt.deck.dt = 0.5 * units::ps;
   return opt;
+}
+
+std::vector<api::Response> unwrap(std::vector<api::Outcome<api::Response>> outcomes) {
+  std::vector<api::Response> responses;
+  responses.reserve(outcomes.size());
+  for (api::Outcome<api::Response>& outcome : outcomes) {
+    if (!outcome.ok()) {
+      const api::ErrorInfo& e = outcome.error();
+      std::fprintf(stderr, "bench: scenario '%s' failed [%s]: %s\n",
+                   e.scenario.c_str(), api::to_string(e.code), e.message.c_str());
+      std::exit(1);
+    }
+    responses.push_back(std::move(outcome).value());
+  }
+  return responses;
 }
 
 std::string pct(double fraction_error_percent) {

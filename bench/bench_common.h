@@ -1,10 +1,12 @@
 // Shared infrastructure for the experiment-reproduction benches.
 //
 // Each bench binary regenerates one table or figure of the paper.  They all
-// need the same pieces: the 0.18 um technology, a cell library (characterized
-// once and cached on disk as ./rlceff_cells.lib so consecutive bench runs
-// skip the ~400 characterization simulations), full-fidelity experiment
-// options, and small text/ASCII-plot helpers.
+// go through one shared api::Engine: it owns the 0.18 um technology and a
+// cell library characterized once and cached on disk as ./rlceff_cells.lib,
+// so consecutive bench runs skip the ~400 characterization simulations.
+// Benches describe their scenarios as api::Request batches and hand them to
+// Engine::run_batch; unwrap() converts the outcomes back to plain responses,
+// aborting loudly if any bench scenario failed.
 #ifndef RLCEFF_BENCH_BENCH_COMMON_H
 #define RLCEFF_BENCH_BENCH_COMMON_H
 
@@ -12,18 +14,17 @@
 #include <string>
 #include <vector>
 
-#include "charlib/library.h"
-#include "core/experiment.h"
-#include "tech/technology.h"
+#include "api/engine.h"
 #include "util/units.h"
 #include "waveform/waveform.h"
 
 namespace rlceff::bench {
 
-inline const tech::Technology& technology() {
-  static const tech::Technology t = tech::Technology::cmos180();
-  return t;
-}
+// The shared facade all bench binaries call into.  Its library is loaded
+// from (and persisted to, by warm_library) ./rlceff_cells.lib.
+api::Engine& engine();
+
+const tech::Technology& technology();
 
 // Disk-cached cell library shared by all bench binaries.
 charlib::CellLibrary& library();
@@ -31,9 +32,14 @@ charlib::CellLibrary& library();
 void warm_library(const std::vector<double>& sizes);
 
 // Full fidelity: what the paper-facing tables use.
-core::ExperimentOptions full_fidelity();
+api::BatchOptions full_fidelity();
 // Sweep fidelity: slightly coarser, for the 165-case Fig-7 scatter.
-core::ExperimentOptions sweep_fidelity();
+api::BatchOptions sweep_fidelity();
+
+// Unwraps a batch, terminating the bench with a message naming the failing
+// scenario and its error code when a slot failed (paper-reproduction
+// scenarios are all expected to succeed).
+std::vector<api::Response> unwrap(std::vector<api::Outcome<api::Response>> outcomes);
 
 // "+4.4%"-style formatting.
 std::string pct(double fraction_error_percent);

@@ -15,17 +15,16 @@ namespace {
 void run_case(const char* title, double length_mm, double width_um, double size,
               double slew) {
   const tech::WireParasitics wire = *tech::find_paper_wire_case(length_mm, width_um);
-  core::ExperimentCase c;
-  c.driver_size = size;
+  api::Request c;
+  c.label = title;
+  c.cell_size = size;
   c.input_slew = slew;
   c.net = tech::line_net(wire, 20 * ff);
-
-  core::ExperimentOptions opt = bench::full_fidelity();
-  opt.keep_waveforms = true;
-  opt.include_one_ramp = false;
-  opt.include_far_end = false;
-  const core::ExperimentResult r =
-      core::run_experiment(bench::technology(), bench::library(), c, opt);
+  c.reference = true;
+  c.far_end = false;
+  c.keep_waveforms = true;
+  const api::Response r =
+      bench::engine().model(c, bench::full_fidelity()).value();
 
   std::printf("\n-- %s --\n", title);
   std::printf("line R=%.1f ohm L=%.2f nH C=%.0f fF, driver %gX, input slew %.0f ps\n",

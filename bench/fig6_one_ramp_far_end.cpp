@@ -18,15 +18,15 @@ int main() {
 
   {
     std::printf("\n-- left: 4 mm / 1.6 um, 25X driver, slew 100 ps (RC-like) --\n");
-    core::ExperimentCase c;
-    c.driver_size = 25.0;
+    api::Request c;
+    c.label = "fig6 left 4/1.6 25X";
+    c.cell_size = 25.0;
     c.input_slew = 100 * ps;
     c.net = tech::line_net(*tech::find_paper_wire_case(4.0, 1.6), 20 * ff);
-    core::ExperimentOptions opt = bench::full_fidelity();
-    opt.keep_waveforms = true;
-    opt.include_far_end = false;
-    opt.include_one_ramp = false;
-    const auto r = core::run_experiment(bench::technology(), bench::library(), c, opt);
+    c.reference = true;
+    c.far_end = false;
+    c.keep_waveforms = true;
+    const api::Response r = bench::engine().model(c, bench::full_fidelity()).value();
 
     std::printf("criteria: load_small=%d line_low_loss=%d driver_fast=%d "
                 "ramp_beats_flight=%d -> %s (Rs=%.0f ohm vs Z0=%.0f ohm)\n",
@@ -47,14 +47,14 @@ int main() {
 
   {
     std::printf("\n-- right: 4 mm / 0.8 um, 75X driver, slew 50 ps (near + far end) --\n");
-    core::ExperimentCase c;
-    c.driver_size = 75.0;
+    api::Request c;
+    c.label = "fig6 right 4/0.8 75X";
+    c.cell_size = 75.0;
     c.input_slew = 50 * ps;
     c.net = tech::line_net(*tech::find_paper_wire_case(4.0, 0.8), 20 * ff);
-    core::ExperimentOptions opt = bench::full_fidelity();
-    opt.keep_waveforms = true;
-    opt.include_one_ramp = false;
-    const auto r = core::run_experiment(bench::technology(), bench::library(), c, opt);
+    c.reference = true;
+    c.keep_waveforms = true;
+    const api::Response r = bench::engine().model(c, bench::full_fidelity()).value();
 
     std::printf("model kind: %s, f=%.2f\n",
                 r.model.kind == core::ModelKind::two_ramp ? "two-ramp" : "one-ramp",

@@ -60,83 +60,74 @@ int main() {
   const std::vector<double> slews_ps = {50, 100, 150, 200};
   const tech::WireModel wires;
 
-  core::ExperimentOptions opt = bench::sweep_fidelity();
-  opt.include_far_end = false;
-  // The one-ramp baseline column costs no extra simulation (model only) and
-  // feeds the BENCH_accuracy.json trajectory.
-  opt.include_one_ramp = true;
+  const api::BatchOptions opt = bench::sweep_fidelity();
 
-  // Phase 1: cheap screening with the model flow only (no simulation).
-  struct Candidate {
-    core::ExperimentCase scenario;
-    bool paper_region;  // the paper's "long, wide, fast" subset
-  };
-  std::vector<Candidate> inductive;
-  std::size_t total = 0;
+  // Phase 1: cheap screening with the model flow only (no simulation) —
+  // model-only requests through the Engine batch path.
+  std::vector<api::Request> screen;
+  std::vector<bool> paper_region;  // the paper's "long, wide, fast" subset
   for (double l : lengths_mm) {
     for (double w : widths_um) {
       for (double size : sizes) {
         for (double slew : slews_ps) {
-          ++total;
-          core::ExperimentCase c;
-          c.driver_size = size;
-          c.input_slew = slew * ps;
-          c.net = tech::line_net(wires.extract({l * mm, w * um}), 20 * ff);
-          const auto& driver =
-              bench::library().ensure_driver(bench::technology(), size);
-          const auto model =
-              core::model_driver_output(driver, c.input_slew, c.net);
-          const bool paper_region = l >= 3.0 && w >= 1.6 && size >= 75.0;
-          if (model.kind != core::ModelKind::one_ramp) {
-            inductive.push_back({c, paper_region});
-          }
+          api::Request r;
+          char label[64];
+          std::snprintf(label, sizeof label, "%gmm/%gum %gX %gps", l, w, size, slew);
+          r.label = label;
+          r.cell_size = size;
+          r.input_slew = slew * ps;
+          r.net = tech::line_net(wires.extract({l * mm, w * um}), 20 * ff);
+          // The historical sweep uses the last Ceff iterate even when the
+          // fixed point stalls (a handful of borderline cases); keep that
+          // semantics so the Fig-7 statistics stay comparable across PRs.
+          r.require_convergence = false;
+          screen.push_back(std::move(r));
+          paper_region.push_back(l >= 3.0 && w >= 1.6 && size >= 75.0);
         }
       }
     }
   }
+  const std::vector<api::Response> screened =
+      bench::unwrap(bench::engine().run_batch(screen, opt));
+
+  // Phase 2: simulate the inductively-significant cases.  Same requests,
+  // now with the transient reference; the one-ramp baseline column costs no
+  // extra simulation (model only) and feeds the BENCH_accuracy.json
+  // trajectory.
+  std::vector<api::Request> inductive;
+  std::vector<bool> inductive_region;
+  for (std::size_t k = 0; k < screen.size(); ++k) {
+    if (screened[k].model.kind == core::ModelKind::one_ramp) continue;
+    api::Request r = std::move(screen[k]);
+    r.reference = true;
+    r.far_end = false;
+    r.one_ramp_baseline = true;
+    inductive.push_back(std::move(r));
+    inductive_region.push_back(paper_region[k]);
+  }
   std::printf("screened %zu sweep points -> %zu inductively significant cases "
               "(paper: 165)\n",
-              total, inductive.size());
+              screen.size(), inductive.size());
 
-  // Phase 2: simulate the inductive cases on the sweep pool and aggregate
-  // the deterministically-ordered results serially.  The parallel workers
-  // must never characterize (CellLibrary::ensure_driver mutates the shared
-  // library), so enforce that screening left every size cached.
-  for (double size : sizes) {
-    if (bench::library().find(size) == nullptr) {
-      std::fprintf(stderr, "fig7: %gX driver missing from library before the "
-                           "parallel sweep\n", size);
-      return 1;
-    }
-  }
-  struct CaseMetrics {
-    core::EdgeMetrics ref;
-    core::EdgeMetrics model;
-    core::EdgeMetrics one_ramp;
-  };
   std::printf("# simulating %zu cases on %u threads\n", inductive.size(),
               sim::sweep_worker_count(inductive.size(), 0));
   std::fflush(stdout);
-  const std::vector<CaseMetrics> metrics = sim::run_sweep(
-      inductive, [&](const Candidate& cand) -> CaseMetrics {
-        const auto r = core::run_experiment(bench::technology(), bench::library(),
-                                            cand.scenario, opt);
-        return {r.ref_near, r.model_near, r.one_near};
-      });
+  const std::vector<api::Response> metrics =
+      bench::unwrap(bench::engine().run_batch(inductive, opt));
 
   std::vector<std::pair<double, double>> delay_pts, slew_pts;
   std::vector<double> delay_errs, slew_errs;
   std::vector<double> one_delay_errs, one_slew_errs;
   std::vector<double> delay_errs_core, slew_errs_core;  // paper's sub-region
   for (std::size_t k = 0; k < inductive.size(); ++k) {
-    const CaseMetrics& m = metrics[k];
-    delay_pts.emplace_back(m.ref.delay, m.model.delay);
-    slew_pts.emplace_back(m.ref.slew, m.model.slew);
-    delay_errs.push_back(core::pct_error(m.model.delay, m.ref.delay));
-    slew_errs.push_back(core::pct_error(m.model.slew, m.ref.slew));
-    one_delay_errs.push_back(core::pct_error(m.one_ramp.delay, m.ref.delay));
-    one_slew_errs.push_back(core::pct_error(m.one_ramp.slew, m.ref.slew));
-    if (inductive[k].paper_region) {
+    const api::Response& m = metrics[k];
+    delay_pts.emplace_back(m.ref_near.delay, m.model_near.delay);
+    slew_pts.emplace_back(m.ref_near.slew, m.model_near.slew);
+    delay_errs.push_back(core::pct_error(m.model_near.delay, m.ref_near.delay));
+    slew_errs.push_back(core::pct_error(m.model_near.slew, m.ref_near.slew));
+    one_delay_errs.push_back(core::pct_error(m.one_near.delay, m.ref_near.delay));
+    one_slew_errs.push_back(core::pct_error(m.one_near.slew, m.ref_near.slew));
+    if (inductive_region[k]) {
       delay_errs_core.push_back(delay_errs.back());
       slew_errs_core.push_back(slew_errs.back());
     }

@@ -58,8 +58,10 @@ int main(int argc, char** argv) {
   std::printf("== Table 1: HSPICE, one-ramp, and two-ramp model comparison ==%s\n",
               smoke ? " (smoke fidelity)" : "");
 
-  core::ExperimentOptions opt = bench::full_fidelity();
-  charlib::CellLibrary smoke_library;
+  api::BatchOptions opt = bench::full_fidelity();
+  // Smoke mode keeps its reduced-grid characterizations out of the shared
+  // on-disk cache by running through its own Engine.
+  api::Engine smoke_engine{tech::Technology::cmos180()};
   if (smoke) {
     opt = bench::sweep_fidelity();
     opt.deck.segments = 40;
@@ -69,12 +71,29 @@ int main(int argc, char** argv) {
   } else {
     bench::warm_library({75.0, 100.0});
   }
-  charlib::CellLibrary& library = smoke ? smoke_library : bench::library();
+  api::Engine& engine = smoke ? smoke_engine : bench::engine();
 
-  opt.include_far_end = false;
-  // Table 1 compares both models at the driving point regardless of the
-  // screen (all rows are inductive cases anyway).
-  opt.model.selection = core::ModelSelection::force_two_ramp;
+  std::vector<api::Request> requests;
+  for (const PaperRow& row : rows) {
+    api::Request r;
+    char label[64];
+    std::snprintf(label, sizeof label, "%g/%g %gX %gps", row.length_mm, row.width_um,
+                  row.size, row.slew_ps);
+    r.label = label;
+    r.cell_size = row.size;
+    r.input_slew = row.slew_ps * ps;
+    r.net = tech::line_net(*tech::find_paper_wire_case(row.length_mm, row.width_um),
+                           20 * ff);
+    r.reference = true;
+    r.far_end = false;
+    r.one_ramp_baseline = true;
+    // Table 1 compares both models at the driving point regardless of the
+    // screen (all rows are inductive cases anyway).
+    r.model.selection = core::ModelSelection::force_two_ramp;
+    requests.push_back(std::move(r));
+  }
+  const std::vector<api::Response> results =
+      bench::unwrap(engine.run_batch(requests, opt));
 
   std::printf(
       "\n%-8s %-5s %-5s | %27s | %27s\n"
@@ -84,13 +103,9 @@ int main(int argc, char** argv) {
       "HSPICE", "2ramp", "1ramp");
 
   std::vector<double> d2_errs, d1_errs, s2_errs, s1_errs;
-  for (const PaperRow& row : rows) {
-    core::ExperimentCase c;
-    c.driver_size = row.size;
-    c.input_slew = row.slew_ps * ps;
-    c.net = tech::line_net(*tech::find_paper_wire_case(row.length_mm, row.width_um),
-                           20 * ff);
-    const auto r = core::run_experiment(bench::technology(), library, c, opt);
+  for (std::size_t k = 0; k < rows.size(); ++k) {
+    const PaperRow& row = rows[k];
+    const api::Response& r = results[k];
 
     const double d2 = core::pct_error(r.model_near.delay, r.ref_near.delay);
     const double d1 = core::pct_error(r.one_near.delay, r.ref_near.delay);

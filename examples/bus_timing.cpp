@@ -3,17 +3,18 @@
 // lanes behave like RC wires and others like transmission lines.
 //
 // A static timing engine cannot afford a SPICE run per net; this example
-// times a 16-lane bus entirely from the library model (moments + Ceff
+// times a 16-lane bus entirely from the library model by handing the lanes
+// to api::Engine::run_batch as model-only requests (moments + Ceff
 // iterations + two-ramp waveforms), flags which lanes needed the two-ramp
 // treatment, and checks arrival times against a clock budget.  A spot check
-// against the transient simulator verifies the flow on the slowest lane.
+// against the transient simulator (one reference-mode request) verifies the
+// flow on the slowest lane.
 #include <cstdio>
 
 #include <string>
 #include <vector>
 
-#include "charlib/library.h"
-#include "core/experiment.h"
+#include "api/engine.h"
 #include "moments/awe.h"
 #include "tech/wire.h"
 #include "util/units.h"
@@ -33,9 +34,8 @@ struct Lane {
 }  // namespace
 
 int main() {
-  const tech::Technology technology = tech::Technology::cmos180();
+  api::Engine engine{tech::Technology::cmos180()};
   const tech::WireModel wires;
-  charlib::CellLibrary library;
 
   // 16 lanes snaking across the die: lengths vary with routing detours, the
   // shorter lanes use narrower wire and weaker drivers.
@@ -49,13 +49,29 @@ int main() {
     lanes.push_back(lane);
   }
 
-  charlib::CharacterizationGrid grid;
-  grid.input_slews = {50 * ps, 100 * ps, 200 * ps};
-  grid.loads = {50 * ff, 200 * ff, 500 * ff, 1 * pf, 2 * pf, 4 * pf};
+  api::BatchOptions options;
+  options.grid.input_slews = {50 * ps, 100 * ps, 200 * ps};
+  options.grid.loads = {50 * ff, 200 * ff, 500 * ff, 1 * pf, 2 * pf, 4 * pf};
 
   const double input_slew = 100 * ps;
-  const double c_receiver = tech::Inverter{10.0}.input_capacitance(technology);
+  const double c_receiver =
+      tech::Inverter{10.0}.input_capacitance(engine.technology());
   const double clock_budget = 320 * ps;  // arrival budget at the receivers
+
+  // The whole bus as one model-only batch: the engine characterizes the
+  // three distinct driver sizes once, then fans the lanes out in parallel.
+  std::vector<api::Request> requests;
+  for (const Lane& lane : lanes) {
+    api::Request r;
+    r.label = lane.name;
+    r.cell_size = lane.driver_size;
+    r.input_slew = input_slew;
+    r.net = tech::line_net(wires.extract({lane.length_mm * mm, lane.width_um * um}),
+                           c_receiver);
+    requests.push_back(std::move(r));
+  }
+  const std::vector<api::Outcome<api::Response>> outcomes =
+      engine.run_batch(requests, options);
 
   std::printf("16-lane global bus, input slew %.0f ps, receiver cap %.1f fF, "
               "budget %.0f ps\n\n",
@@ -66,13 +82,17 @@ int main() {
 
   double worst_slack = 1e9;
   std::string worst_lane;
-  for (const Lane& lane : lanes) {
+  for (std::size_t k = 0; k < lanes.size(); ++k) {
+    const Lane& lane = lanes[k];
+    if (!outcomes[k].ok()) {
+      std::printf("%-9s FAILED [%s]: %s\n", lane.name.c_str(),
+                  api::to_string(outcomes[k].error().code),
+                  outcomes[k].error().message.c_str());
+      continue;
+    }
+    const core::DriverOutputModel& model = outcomes[k].value().model;
     const tech::WireParasitics wire =
         wires.extract({lane.length_mm * mm, lane.width_um * um});
-    const charlib::CharacterizedDriver& driver =
-        library.ensure_driver(technology, lane.driver_size, grid);
-    const core::DriverOutputModel model =
-        core::model_driver_output(driver, input_slew, wire, c_receiver);
 
     // Wire delay from the reduced-order far-end transfer (AWE): evaluate the
     // modeled near-end waveform through it — no circuit simulation at all.
@@ -81,7 +101,8 @@ int main() {
     const moments::AweModel awe = moments::AweModel::make(h, 3);
     const wave::Waveform far =
         awe.response(model.waveform, model.waveform.end_time() + 2 * ns, 2 * ps);
-    const auto far_t50 = far.first_crossing(0.5 * technology.vdd, true);
+    const auto far_t50 =
+        far.first_crossing(0.5 * engine.technology().vdd, true);
     const double arrival = far_t50.value_or(1e9);
     const double slack = clock_budget - arrival;
     if (slack < worst_slack) {
@@ -97,16 +118,13 @@ int main() {
   }
   std::printf("\nworst slack: %+.1f ps on %s\n", worst_slack / ps, worst_lane.c_str());
 
-  // Spot-check the slowest lane against the transient simulator.
+  // Spot-check the slowest lane against the transient simulator: the same
+  // request, now with the reference flag.
   const Lane& check = lanes.back();
-  core::ExperimentCase c;
-  c.driver_size = check.driver_size;
-  c.input_slew = input_slew;
-  c.net = tech::line_net(wires.extract({check.length_mm * mm, check.width_um * um}),
-                         c_receiver);
-  core::ExperimentOptions opt;
-  opt.grid = grid;
-  const core::ExperimentResult r = core::run_experiment(technology, library, c, opt);
+  api::Request c = requests.back();
+  c.label = check.name + " (reference)";
+  c.reference = true;
+  const api::Response r = engine.model(c, options).value();
   std::printf("\nspot check (%s) against transient simulation:\n", check.name.c_str());
   std::printf("far-end delay: model %.1f ps vs simulated %.1f ps (%+.1f%%)\n",
               r.model_far.delay / ps, r.ref_far.delay / ps,

@@ -62,7 +62,8 @@ int main(int argc, char** argv) {
   if (out_path != nullptr) {
     library.save_file(out_path);
     std::printf("\nsaved library to %s\n", out_path);
-    const charlib::CellLibrary loaded = charlib::CellLibrary::load_file(out_path);
+    charlib::CellLibrary loaded;
+    loaded.load_file(out_path);
     std::printf("round trip ok: %zu cell(s), delay(100ps, 1pF) = %.2f ps\n",
                 loaded.size(), loaded.find(size)->delay(100 * ps, 1 * pf) / ps);
   }

@@ -8,8 +8,7 @@
 // deck.
 #include <cstdio>
 
-#include "charlib/library.h"
-#include "core/driver_model.h"
+#include "api/engine.h"
 #include "tech/testbench.h"
 #include "tech/wire.h"
 #include "util/units.h"
@@ -18,7 +17,8 @@ using namespace rlceff;
 using namespace rlceff::units;
 
 int main() {
-  const tech::Technology technology = tech::Technology::cmos180();
+  api::Engine engine{tech::Technology::cmos180()};
+  const tech::Technology& technology = engine.technology();
   const tech::WireModel wires;
 
   // The net: 2 mm x 2.0 um trunk, two 2.5 mm x 1.2 um arms, each arm loaded
@@ -49,15 +49,16 @@ int main() {
               metrics.z0, metrics.time_of_flight / ps, metrics.path_resistance,
               metrics.total_capacitance() / pf);
 
-  charlib::CharacterizationGrid grid;
-  grid.input_slews = {50 * ps, 100 * ps, 200 * ps};
-  grid.loads = {50 * ff, 200 * ff, 500 * ff, 1 * pf, 2 * pf, 4 * pf};
-  charlib::CellLibrary library;
-  const charlib::CharacterizedDriver& driver =
-      library.ensure_driver(technology, 125.0, grid);
+  api::BatchOptions options;
+  options.grid.input_slews = {50 * ps, 100 * ps, 200 * ps};
+  options.grid.loads = {50 * ff, 200 * ff, 500 * ff, 1 * pf, 2 * pf, 4 * pf};
 
-  const core::DriverOutputModel model =
-      core::model_driver_output(driver, 100 * ps, spine);
+  api::Request request;
+  request.label = "clock spine";
+  request.cell_size = 125.0;
+  request.input_slew = 100 * ps;
+  request.net = spine;
+  const core::DriverOutputModel model = engine.model(request, options).value().model;
   std::printf("model: %s, f=%.2f, Ceff1=%.0f fF (Tr1=%.0f ps), Ceff2=%.0f fF, "
               "gate delay %.1f ps\n",
               model.kind == core::ModelKind::two_ramp ? "two-ramp" : "one-ramp",

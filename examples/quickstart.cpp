@@ -1,14 +1,13 @@
-// Quickstart: describe an interconnect as a net::Net, model its driver
-// output with the two-ramp effective-capacitance flow, and compare it
-// against a transient simulation.
+// Quickstart: describe an interconnect as a net::Net, hand it to api::Engine
+// as a Request, and read the two-ramp effective-capacitance model plus a
+// transient-simulation cross-check out of the Response.
 //
 // Build & run (from the repository root):
 //   cmake -B build -G Ninja && cmake --build build
 //   ./build/example_quickstart
 #include <cstdio>
 
-#include "charlib/library.h"
-#include "core/experiment.h"
+#include "api/engine.h"
 #include "tech/wire.h"
 #include "util/units.h"
 
@@ -16,12 +15,13 @@ using namespace rlceff;
 using namespace rlceff::units;
 
 int main() {
-  // 1. Technology and interconnect: a 5 mm x 1.6 um global wire with a 20 fF
-  //    receiver, described once as a net::Net — the IR every layer (deck
-  //    compiler, moment engine, experiment harness) consumes.  WireModel
-  //    plays the role of a field solver; swap uniform_line for
-  //    Net::multi_section or Net::from_tree and nothing downstream changes.
-  const tech::Technology technology = tech::Technology::cmos180();
+  // 1. The engine owns the technology and the cell cache.  Interconnect: a
+  //    5 mm x 1.6 um global wire with a 20 fF receiver, described once as a
+  //    net::Net — the IR every layer (deck compiler, moment engine,
+  //    experiment harness) consumes.  WireModel plays the role of a field
+  //    solver; swap uniform_line for Net::multi_section or Net::from_tree
+  //    and nothing downstream changes.
+  api::Engine engine{tech::Technology::cmos180()};
   const tech::WireModel wires;
   const tech::WireParasitics wire = wires.extract({5 * mm, 1.6 * um});
   const net::Net line = tech::line_net(wire, 20 * ff);
@@ -31,32 +31,41 @@ int main() {
               metrics.total_capacitance() / pf, metrics.z0,
               metrics.time_of_flight / ps);
 
-  // 2. Characterize a 100X inverter driver (in production flows this comes
-  //    from the cell library; here we build a small table on the fly).
-  charlib::CharacterizationGrid grid;
-  grid.input_slews = {50 * ps, 100 * ps, 200 * ps};
-  grid.loads = {50 * ff, 200 * ff, 500 * ff, 1 * pf, 2 * pf, 4 * pf};
-  charlib::CellLibrary library;
-  library.ensure_driver(technology, 100.0, grid);
+  // 2. One request: a 100X driver, 100 ps input slew, this net.  The
+  //    reference flag also runs the transient simulator so we can judge the
+  //    model; production callers leave it off and get the model alone.  The
+  //    engine characterizes the 100X cell on first use (in production flows
+  //    warm_cache/load_library skip this).
+  api::Request request;
+  request.label = "quickstart 5mm/1.6um";
+  request.cell_size = 100.0;
+  request.input_slew = 100 * ps;
+  request.net = line;
+  request.reference = true;
 
-  // 3. Run the paper's flow against a simulated reference.
-  core::ExperimentCase scenario;
-  scenario.driver_size = 100.0;
-  scenario.input_slew = 100 * ps;
-  scenario.net = line;
+  api::BatchOptions options;
+  options.grid.input_slews = {50 * ps, 100 * ps, 200 * ps};
+  options.grid.loads = {50 * ff, 200 * ff, 500 * ff, 1 * pf, 2 * pf, 4 * pf};
 
-  core::ExperimentOptions options;
-  options.grid = grid;
-  const core::ExperimentResult r =
-      core::run_experiment(technology, library, scenario, options);
+  // 3. Run it.  Failures come back as a structured Outcome, not an
+  //    exception; value() unwraps (and would throw a labeled Error if the
+  //    scenario had failed).
+  const api::Outcome<api::Response> outcome = engine.model(request, options);
+  if (!outcome.ok()) {
+    std::fprintf(stderr, "scenario '%s' failed [%s]: %s\n",
+                 outcome.error().scenario.c_str(), api::to_string(outcome.error().code),
+                 outcome.error().message.c_str());
+    return 1;
+  }
+  const api::Response& r = outcome.value();
 
   // 4. Inspect the model.
   const core::DriverOutputModel& m = r.model;
+  const double vdd = engine.technology().vdd;
   std::printf("\ninductance significant: %s (Rs=%.1f ohm vs Z0=%.1f ohm)\n",
               m.criteria.significant() ? "yes -> two-ramp model" : "no -> one ramp",
               m.rs, m.z0);
-  std::printf("breakpoint f = %.2f  (first ramp ends at %.2f V)\n", m.f,
-              m.f * technology.vdd);
+  std::printf("breakpoint f = %.2f  (first ramp ends at %.2f V)\n", m.f, m.f * vdd);
   std::printf("Ceff1 = %.0f fF (Tr1 = %.0f ps)   Ceff2 = %.0f fF (Tr2' = %.0f ps)\n",
               m.ceff1.ceff / ff, m.ceff1.ramp_time / ps, m.ceff2.ceff / ff,
               m.tr2_new / ps);

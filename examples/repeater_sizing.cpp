@@ -10,10 +10,10 @@
 #include <cstdio>
 
 #include <optional>
+#include <string>
 #include <vector>
 
-#include "charlib/library.h"
-#include "core/experiment.h"
+#include "api/engine.h"
 #include "moments/awe.h"
 #include "tech/wire.h"
 #include "util/units.h"
@@ -22,13 +22,13 @@ using namespace rlceff;
 using namespace rlceff::units;
 
 int main() {
-  const tech::Technology technology = tech::Technology::cmos180();
+  api::Engine engine{tech::Technology::cmos180()};
+  const tech::Technology& technology = engine.technology();
   const tech::WireModel wires;
-  charlib::CellLibrary library;
 
-  charlib::CharacterizationGrid grid;
-  grid.input_slews = {50 * ps, 100 * ps, 200 * ps};
-  grid.loads = {50 * ff, 200 * ff, 500 * ff, 1 * pf, 2 * pf, 4 * pf};
+  api::BatchOptions options;
+  options.grid.input_slews = {50 * ps, 100 * ps, 200 * ps};
+  options.grid.loads = {50 * ff, 200 * ff, 500 * ff, 1 * pf, 2 * pf, 4 * pf};
 
   // The net: a 6 mm x 2.0 um line to a 10X receiver; 100 ps input slew.
   const tech::WireParasitics wire = wires.extract({6 * mm, 2.0 * um});
@@ -48,10 +48,13 @@ int main() {
 
   std::optional<double> chosen;
   for (double size : {25.0, 40.0, 60.0, 80.0, 100.0, 125.0}) {
-    const charlib::CharacterizedDriver& driver =
-        library.ensure_driver(technology, size, grid);
+    api::Request candidate;
+    candidate.label = "candidate " + std::to_string(static_cast<int>(size)) + "X";
+    candidate.cell_size = size;
+    candidate.input_slew = input_slew;
+    candidate.net = tech::line_net(wire, c_receiver);
     const core::DriverOutputModel model =
-        core::model_driver_output(driver, input_slew, wire, c_receiver);
+        engine.model(candidate, options).value().model;
     const wave::Waveform far =
         awe.response(model.waveform, model.waveform.end_time() + 2 * ns, 2 * ps);
     const double arrival =
@@ -71,13 +74,13 @@ int main() {
   std::printf("\nchosen driver: %.0fX -- validating with a transient simulation...\n",
               *chosen);
 
-  core::ExperimentCase c;
-  c.driver_size = *chosen;
+  api::Request c;
+  c.label = "validation";
+  c.cell_size = *chosen;
   c.input_slew = input_slew;
   c.net = tech::line_net(wire, c_receiver);
-  core::ExperimentOptions opt;
-  opt.grid = grid;
-  const core::ExperimentResult r = core::run_experiment(technology, library, c, opt);
+  c.reference = true;
+  const api::Response r = engine.model(c, options).value();
   std::printf("simulated far-end arrival: %.1f ps (model promised %.1f ps, %+.1f%%); "
               "target %s\n",
               r.ref_far.delay / ps, r.model_far.delay / ps,

@@ -1,0 +1,205 @@
+#include "api/engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <fstream>
+#include <utility>
+
+#include "core/experiment.h"
+#include "sim/sweep.h"
+#include "waveform/waveform.h"
+
+namespace rlceff::api {
+
+namespace {
+
+void validate(const Request& r) {
+  auto reject = [&](const std::string& why) {
+    throw InvalidRequestError("api::Engine: request '" + r.label + "': " + why);
+  };
+  if (!(r.cell_size > 0.0)) reject("cell size must be positive");
+  if (!(r.input_slew > 0.0)) reject("input slew must be positive");
+  if (r.net.empty()) reject("net is empty");
+  if (!r.reference && (r.one_ramp_baseline || r.keep_waveforms)) {
+    reject("one_ramp_baseline/keep_waveforms need the reference simulation");
+  }
+}
+
+// The Ceff iterations report non-convergence via their converged flags; the
+// service boundary promotes that to a failure so a silently-unconverged
+// model cannot masquerade as a timing number.
+void check_convergence(const Request& request, const core::DriverOutputModel& m) {
+  if (!request.require_convergence) return;
+  auto require = [&](const core::CeffIteration& it, const char* which) {
+    if (!it.converged) {
+      throw ConvergenceError("api::Engine: request '" + request.label + "': " +
+                             which + " iteration did not converge within " +
+                             std::to_string(it.iterations) + " iterations");
+    }
+  };
+  require(m.ceff1, "Ceff1");
+  if (m.kind != core::ModelKind::one_ramp) require(m.ceff2, "Ceff2");
+  if (m.kind == core::ModelKind::three_ramp) require(m.ceff3, "Ceff3");
+}
+
+// Measures the modeled PWL alone (no deck): the emitted waveform always ends
+// on the rail, so extending it by one step covers every crossing.
+core::EdgeMetrics measure_model(const core::DriverOutputModel& m, double vdd) {
+  const wave::Waveform w = m.waveform.to_waveform(m.waveform.end_time() + 1e-12);
+  const wave::EdgeTiming e = wave::measure_rising_edge(w, 0.0, vdd);
+  return {e.t50, e.transition_10_90()};
+}
+
+}  // namespace
+
+Engine::Engine(tech::Technology technology) : technology_(technology) {}
+
+Response Engine::model_or_throw(const Request& request, const BatchOptions& options) {
+  validate(request);
+  const auto t0 = std::chrono::steady_clock::now();
+
+  Response response;
+  response.label = request.label;
+
+  if (request.reference) {
+    core::ExperimentCase scenario;
+    scenario.label = request.label;
+    scenario.driver_size = request.cell_size;
+    scenario.input_slew = request.input_slew;
+    scenario.net = request.net;
+
+    core::ExperimentOptions opt;
+    opt.deck = options.deck;
+    opt.grid = options.grid;
+    opt.model = request.model;
+    opt.include_far_end = request.far_end;
+    opt.include_one_ramp = request.one_ramp_baseline;
+    opt.keep_waveforms = request.keep_waveforms;
+
+    core::ExperimentResult r =
+        core::run_experiment(technology_, library_, scenario, opt);
+    response.model = std::move(r.model);
+    response.model_near = r.model_near;
+    response.has_reference = true;
+    response.ref_near = r.ref_near;
+    response.ref_far = r.ref_far;
+    response.model_far = r.model_far;
+    response.one_near = r.one_near;
+    response.one_ramp = std::move(r.one_ramp);
+    response.ref_near_wave = std::move(r.ref_near_wave);
+    response.ref_far_wave = std::move(r.ref_far_wave);
+    response.model_far_wave = std::move(r.model_far_wave);
+    response.input_time_50 = r.input_time_50;
+  } else {
+    const charlib::CharacterizedDriver& driver =
+        library_.ensure_driver(technology_, request.cell_size, options.grid);
+    response.model = core::model_driver_output(driver, request.input_slew,
+                                               request.net, request.model);
+    response.model_near = measure_model(response.model, technology_.vdd);
+  }
+
+  check_convergence(request, response.model);
+  response.elapsed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  return response;
+}
+
+Outcome<Response> Engine::model(const Request& request, const BatchOptions& options) {
+  try {
+    return Outcome<Response>(model_or_throw(request, options));
+  } catch (...) {
+    return Outcome<Response>(describe_failure(std::current_exception(), request.label));
+  }
+}
+
+std::vector<Outcome<Response>> Engine::run_batch(std::span<const Request> requests,
+                                                 const BatchOptions& options) {
+  // Pre-characterize the batch's distinct cell sizes once, so the fan-out
+  // below hits a warm, read-mostly library.  A size whose characterization
+  // failed is remembered and its error re-raised directly for every slot
+  // using that size — without this, each such slot would re-run the full
+  // characterization grid just to hit the same exception again.
+  std::vector<double> sizes;
+  sizes.reserve(requests.size());
+  for (const Request& r : requests) {
+    if (r.cell_size > 0.0) sizes.push_back(r.cell_size);
+  }
+  const std::vector<double> missing = collect_missing(sizes);
+  const std::vector<std::exception_ptr> errors = sim::run_indexed_sweep_collect(
+      missing.size(),
+      [&](std::size_t i) {
+        library_.ensure_driver(technology_, missing[i], options.grid);
+      },
+      options.n_threads);
+  auto characterization_failure = [&](double size) -> std::exception_ptr {
+    for (std::size_t i = 0; i < missing.size(); ++i) {
+      if (errors[i] && std::abs(missing[i] - size) < 1e-9) return errors[i];
+    }
+    return nullptr;
+  };
+
+  std::vector<sim::SweepSlot<Response>> slots = sim::run_sweep_collect(
+      requests,
+      [&](const Request& r) {
+        if (std::exception_ptr e = characterization_failure(r.cell_size)) {
+          std::rethrow_exception(e);
+        }
+        return model_or_throw(r, options);
+      },
+      options.n_threads);
+
+  std::vector<Outcome<Response>> results;
+  results.reserve(slots.size());
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    if (slots[i].ok()) {
+      results.emplace_back(std::move(*slots[i].result));
+    } else {
+      results.emplace_back(describe_failure(std::move(slots[i].error),
+                                            requests[i].label));
+    }
+  }
+  return results;
+}
+
+std::vector<double> Engine::collect_missing(std::span<const double> sizes) const {
+  std::vector<double> missing;
+  for (double size : sizes) {
+    if (library_.find(size) != nullptr) continue;
+    const bool seen = std::any_of(missing.begin(), missing.end(), [&](double s) {
+      return std::abs(s - size) < 1e-9;
+    });
+    if (!seen) missing.push_back(size);
+  }
+  return missing;
+}
+
+void Engine::warm_cache(std::span<const double> cell_sizes,
+                        const charlib::CharacterizationGrid& grid,
+                        unsigned n_threads) {
+  const std::vector<double> missing = collect_missing(cell_sizes);
+  sim::run_indexed_sweep(
+      missing.size(),
+      [&](std::size_t i) { library_.ensure_driver(technology_, missing[i], grid); },
+      n_threads);
+}
+
+void Engine::warm_cache(std::initializer_list<double> cell_sizes,
+                        const charlib::CharacterizationGrid& grid,
+                        unsigned n_threads) {
+  warm_cache(std::span<const double>(cell_sizes.begin(), cell_sizes.size()), grid,
+             n_threads);
+}
+
+bool Engine::load_library(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) return false;
+  library_.load(in);
+  return true;
+}
+
+void Engine::save_library(const std::string& path) const {
+  library_.save_file(path);
+}
+
+}  // namespace rlceff::api

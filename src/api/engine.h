@@ -1,0 +1,81 @@
+// api::Engine — the batch-first, failure-isolating facade over the stack,
+// and the one supported way into the library.
+//
+// The Engine owns a tech::Technology and a thread-safe charlib::CellLibrary
+// and exposes the paper's flow as a service: Request in, Outcome<Response>
+// out.  model() evaluates one net; run_batch() pre-characterizes the batch's
+// distinct cell sizes once, then fans the scenarios out across the sweep
+// pool with per-slot exception capture, so a non-convergent Ceff iteration
+// (or an invalid net) marks one slot failed instead of aborting the batch.
+//
+// The boundary contract: everything below the Engine throws (util/error.h);
+// everything above it branches on Outcome.  model()/run_batch() never throw
+// for per-scenario failures.  run_batch() itself only throws for batch-level
+// breakage (e.g. the characterization grid itself is unusable — and even
+// then the error is re-raised per affected slot, see engine.cpp).
+#ifndef RLCEFF_API_ENGINE_H
+#define RLCEFF_API_ENGINE_H
+
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "api/outcome.h"
+#include "api/request.h"
+#include "charlib/library.h"
+#include "tech/technology.h"
+
+namespace rlceff::api {
+
+class Engine {
+public:
+  explicit Engine(tech::Technology technology = tech::Technology::cmos180());
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  const tech::Technology& technology() const { return technology_; }
+
+  // The engine's cell cache.  Thread-safe; driver references obtained from
+  // it stay valid for the engine's lifetime.
+  charlib::CellLibrary& library() { return library_; }
+  const charlib::CellLibrary& library() const { return library_; }
+
+  // Evaluates one request.  Per-scenario failures come back as failed
+  // Outcomes, never as exceptions.
+  Outcome<Response> model(const Request& request, const BatchOptions& options = {});
+
+  // Evaluates a batch; results[i] always corresponds to requests[i].
+  std::vector<Outcome<Response>> run_batch(std::span<const Request> requests,
+                                           const BatchOptions& options = {});
+
+  // Characterizes any missing cell sizes up front (different sizes in
+  // parallel) so later model()/run_batch() calls are pure table lookups.
+  void warm_cache(std::span<const double> cell_sizes,
+                  const charlib::CharacterizationGrid& grid =
+                      charlib::CharacterizationGrid::standard(),
+                  unsigned n_threads = 0);
+  void warm_cache(std::initializer_list<double> cell_sizes,
+                  const charlib::CharacterizationGrid& grid =
+                      charlib::CharacterizationGrid::standard(),
+                  unsigned n_threads = 0);
+
+  // Cache persistence: merge a saved library into this engine (returns
+  // false when the file does not exist) / write the current cache out, so
+  // repeated invocations skip re-characterization.
+  bool load_library(const std::string& path);
+  void save_library(const std::string& path) const;
+
+private:
+  Response model_or_throw(const Request& request, const BatchOptions& options);
+  // Distinct cell sizes from `sizes` not yet in the library.
+  std::vector<double> collect_missing(std::span<const double> sizes) const;
+
+  tech::Technology technology_;
+  charlib::CellLibrary library_;
+};
+
+}  // namespace rlceff::api
+
+#endif  // RLCEFF_API_ENGINE_H

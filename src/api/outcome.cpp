@@ -1,0 +1,47 @@
+#include "api/outcome.h"
+
+namespace rlceff::api {
+
+const char* to_string(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::invalid_request: return "invalid_request";
+    case ErrorCode::convergence_failure: return "convergence_failure";
+    case ErrorCode::singular_system: return "singular_system";
+    case ErrorCode::model_error: return "model_error";
+    case ErrorCode::internal_error: return "internal_error";
+  }
+  return "internal_error";
+}
+
+ErrorInfo describe_failure(std::exception_ptr error, std::string scenario) {
+  ErrorInfo info;
+  info.scenario = std::move(scenario);
+  if (!error) {
+    info.message = "scenario failed without an exception";
+    return info;
+  }
+  try {
+    std::rethrow_exception(std::move(error));
+  } catch (const InvalidRequestError& e) {
+    info.code = ErrorCode::invalid_request;
+    info.message = e.what();
+  } catch (const ConvergenceError& e) {
+    info.code = ErrorCode::convergence_failure;
+    info.message = e.what();
+  } catch (const SingularMatrixError& e) {
+    info.code = ErrorCode::singular_system;
+    info.message = e.what();
+  } catch (const Error& e) {
+    info.code = ErrorCode::model_error;
+    info.message = e.what();
+  } catch (const std::exception& e) {
+    info.code = ErrorCode::internal_error;
+    info.message = e.what();
+  } catch (...) {
+    info.code = ErrorCode::internal_error;
+    info.message = "non-standard exception";
+  }
+  return info;
+}
+
+}  // namespace rlceff::api

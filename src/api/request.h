@@ -1,0 +1,77 @@
+// Plain data transfer objects for the api::Engine facade.
+//
+// A Request is everything a timing engine knows about one net: which cell
+// drives it, the input slew, the interconnect (a net::Net), and the paper
+// flow's controls.  A Response packages the DriverOutputModel, the measured
+// edge metrics, and timing diagnostics.  BatchOptions carries the knobs that
+// are properties of a *run* rather than of a net: reference-simulation
+// fidelity, the characterization grid, and the sweep pool width.
+#ifndef RLCEFF_API_REQUEST_H
+#define RLCEFF_API_REQUEST_H
+
+#include <string>
+
+#include "charlib/characterize.h"
+#include "core/driver_model.h"
+#include "core/experiment.h"
+#include "net/net.h"
+#include "tech/testbench.h"
+
+namespace rlceff::api {
+
+// One net-modeling job.  The default is the production shape: model-only,
+// i.e. what a library-based static timing engine computes without any SPICE
+// run.  The reference flags opt into the validation harness.
+struct Request {
+  std::string label;               // carried into diagnostics and failures
+  double cell_size = 75.0;         // driver drive strength ("75" = 75X)
+  double input_slew = 100e-12;     // full-swing input ramp time [s]
+  net::Net net;                    // the interconnect the driver drives
+  core::DriverModelOptions model;  // paper flow controls (Eq 1-9)
+
+  bool reference = false;          // also run the transient reference sim
+  bool far_end = true;             // replay the model at the far end (reference mode)
+  bool one_ramp_baseline = false;  // also evaluate the one-ramp column (reference mode)
+  bool keep_waveforms = false;     // retain sampled waveforms (reference mode)
+
+  // Treat a non-converged Ceff fixed point in the primary model as a
+  // per-slot convergence_failure instead of silently returning the last
+  // iterate (the CeffIteration::converged flags stay inspectable either way).
+  bool require_convergence = true;
+};
+
+struct Response {
+  std::string label;
+
+  core::DriverOutputModel model;  // full paper-flow diagnostics + waveform
+  core::EdgeMetrics model_near;   // delay/slew measured on the modeled PWL
+
+  // Reference-backed fields; only meaningful when has_reference is set.
+  bool has_reference = false;
+  core::EdgeMetrics ref_near;    // simulated driver output
+  core::EdgeMetrics ref_far;     // simulated dominant-path leaf
+  core::EdgeMetrics model_far;   // modeled PWL replayed through the net
+  core::EdgeMetrics one_near;    // one-ramp baseline at the driver output
+  core::DriverOutputModel one_ramp;
+
+  // Populated when keep_waveforms is set; times are absolute deck time.
+  wave::Waveform ref_near_wave;
+  wave::Waveform ref_far_wave;
+  wave::Waveform model_far_wave;
+  double input_time_50 = 0.0;
+
+  double elapsed_s = 0.0;  // wall time spent on this slot
+};
+
+struct BatchOptions {
+  // Reference-simulation fidelity (t_stop is auto-sized per scenario).
+  tech::DeckOptions deck;
+  // Grid used when a request's cell has to be characterized.
+  charlib::CharacterizationGrid grid = charlib::CharacterizationGrid::standard();
+  // Sweep pool width for run_batch (0 = one worker per hardware thread).
+  unsigned n_threads = 0;
+};
+
+}  // namespace rlceff::api
+
+#endif  // RLCEFF_API_REQUEST_H

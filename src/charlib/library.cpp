@@ -4,6 +4,7 @@
 #include <fstream>
 #include <iomanip>
 #include <sstream>
+#include <utility>
 
 #include "util/error.h"
 
@@ -35,27 +36,58 @@ void expect_token(std::istream& in, const std::string& want) {
 
 }  // namespace
 
+std::size_t CellLibrary::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return drivers_.size();
+}
+
+std::vector<double> CellLibrary::cell_sizes() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<double> sizes;
+  sizes.reserve(drivers_.size());
+  for (const CharacterizedDriver& d : drivers_) sizes.push_back(d.cell().size);
+  return sizes;
+}
+
 void CellLibrary::add(CharacterizedDriver driver) {
-  ensure(find(driver.cell().size) == nullptr, "CellLibrary: duplicate driver size");
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ensure(find_locked(driver.cell().size) == nullptr,
+         "CellLibrary: duplicate driver size");
   drivers_.push_back(std::move(driver));
 }
 
-const CharacterizedDriver* CellLibrary::find(double cell_size) const {
+const CharacterizedDriver* CellLibrary::find_locked(double cell_size) const {
   for (const CharacterizedDriver& d : drivers_) {
     if (std::abs(d.cell().size - cell_size) < 1e-9) return &d;
   }
   return nullptr;
 }
 
+const CharacterizedDriver* CellLibrary::find(double cell_size) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return find_locked(cell_size);
+}
+
 const CharacterizedDriver& CellLibrary::ensure_driver(const tech::Technology& technology,
                                                       double cell_size,
                                                       const CharacterizationGrid& grid) {
-  if (const CharacterizedDriver* d = find(cell_size)) return *d;
-  drivers_.push_back(characterize_driver(technology, tech::Inverter{cell_size}, grid));
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (const CharacterizedDriver* d = find_locked(cell_size)) return *d;
+  }
+  // Characterize outside the lock so different sizes run in parallel.  Two
+  // threads racing on the same size both characterize; the loser's copy is
+  // discarded below, so the returned reference is unique and stable.
+  CharacterizedDriver fresh =
+      characterize_driver(technology, tech::Inverter{cell_size}, grid);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (const CharacterizedDriver* d = find_locked(cell_size)) return *d;
+  drivers_.push_back(std::move(fresh));
   return drivers_.back();
 }
 
 void CellLibrary::save(std::ostream& out) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
   out << std::setprecision(17);
   out << "rlceff_cell_library 1\n";
   out << "cells " << drivers_.size() << '\n';
@@ -81,7 +113,7 @@ void CellLibrary::save_file(const std::string& path) const {
   ensure(out.good(), "CellLibrary: write failed: " + path);
 }
 
-CellLibrary CellLibrary::load(std::istream& in) {
+void CellLibrary::load(std::istream& in) {
   expect_token(in, "rlceff_cell_library");
   int version = 0;
   ensure(static_cast<bool>(in >> version) && version == 1,
@@ -90,7 +122,6 @@ CellLibrary CellLibrary::load(std::istream& in) {
   std::size_t count = 0;
   ensure(static_cast<bool>(in >> count), "CellLibrary: bad cell count");
 
-  CellLibrary lib;
   for (std::size_t k = 0; k < count; ++k) {
     expect_token(in, "cell");
     double size = 0.0;
@@ -107,18 +138,19 @@ CellLibrary CellLibrary::load(std::istream& in) {
     expect_token(in, "resistance");
     std::vector<double> resistance = read_values(in, "resistance");
 
-    lib.add(CharacterizedDriver(tech::Inverter{size}, vdd,
-                                Table2D(slews, loads, std::move(delay)),
-                                Table2D(slews, loads, std::move(transition)),
-                                Table2D(slews, loads, std::move(resistance))));
+    CharacterizedDriver driver(tech::Inverter{size}, vdd,
+                               Table2D(slews, loads, std::move(delay)),
+                               Table2D(slews, loads, std::move(transition)),
+                               Table2D(slews, loads, std::move(resistance)));
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (find_locked(size) == nullptr) drivers_.push_back(std::move(driver));
   }
-  return lib;
 }
 
-CellLibrary CellLibrary::load_file(const std::string& path) {
+void CellLibrary::load_file(const std::string& path) {
   std::ifstream in(path);
   ensure(in.good(), "CellLibrary: cannot open file: " + path);
-  return load(in);
+  load(in);
 }
 
 }  // namespace rlceff::charlib

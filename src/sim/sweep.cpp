@@ -2,8 +2,6 @@
 
 #include <algorithm>
 #include <atomic>
-#include <exception>
-#include <mutex>
 #include <thread>
 
 namespace rlceff::sim {
@@ -18,20 +16,16 @@ unsigned sweep_worker_count(std::size_t n_tasks, unsigned n_threads) {
       std::min<std::size_t>(n_threads, n_tasks));
 }
 
-void run_indexed_sweep(std::size_t n_tasks,
-                       const std::function<void(std::size_t)>& task,
-                       unsigned n_threads) {
+std::vector<std::exception_ptr> run_indexed_sweep_collect(
+    std::size_t n_tasks, const std::function<void(std::size_t)>& task,
+    unsigned n_threads) {
+  std::vector<std::exception_ptr> errors(n_tasks);
   const unsigned workers = sweep_worker_count(n_tasks, n_threads);
-  if (workers == 0) return;
+  if (workers == 0) return errors;
 
+  // Work-stealing over an atomic cursor; each slot of `errors` is written by
+  // exactly one worker (the one that claimed index i), so no lock is needed.
   std::atomic<std::size_t> next{0};
-  std::mutex failure_mutex;
-  std::size_t failed_index = n_tasks;
-  std::exception_ptr failure;
-
-  // Work-stealing over an atomic cursor; every index is attempted even after
-  // a failure so the rethrown (lowest-index) exception does not depend on
-  // scheduling.
   auto drain = [&] {
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
@@ -39,11 +33,7 @@ void run_indexed_sweep(std::size_t n_tasks,
       try {
         task(i);
       } catch (...) {
-        const std::lock_guard<std::mutex> lock(failure_mutex);
-        if (i < failed_index) {
-          failed_index = i;
-          failure = std::current_exception();
-        }
+        errors[i] = std::current_exception();
       }
     }
   };
@@ -56,8 +46,19 @@ void run_indexed_sweep(std::size_t n_tasks,
     for (unsigned w = 0; w < workers; ++w) pool.emplace_back(drain);
     for (std::thread& worker : pool) worker.join();
   }
+  return errors;
+}
 
-  if (failure) std::rethrow_exception(failure);
+void run_indexed_sweep(std::size_t n_tasks,
+                       const std::function<void(std::size_t)>& task,
+                       unsigned n_threads) {
+  // Every index is attempted even after a failure, and walking the slots in
+  // order makes the rethrown (lowest-index) exception independent of
+  // scheduling.
+  for (std::exception_ptr& error :
+       run_indexed_sweep_collect(n_tasks, task, n_threads)) {
+    if (error) std::rethrow_exception(error);
+  }
 }
 
 }  // namespace rlceff::sim

@@ -1,0 +1,253 @@
+// Tests for the api::Engine facade: the Outcome error surface (codes,
+// scenario labels, per-slot isolation), equivalence with the core flows it
+// wraps, and the warm_cache / library persistence path.
+//
+// Fidelity is reduced (coarse decks, small characterization grids) to keep
+// the suite fast; the bench binaries exercise the same paths at full
+// fidelity.
+#include "api/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+#include "tech/wire.h"
+#include "test_helpers.h"
+#include "util/units.h"
+
+namespace rlceff::api {
+namespace {
+
+using namespace rlceff::units;
+
+BatchOptions fast_options() {
+  BatchOptions opt;
+  opt.deck.segments = 40;
+  opt.deck.dt = 1 * ps;
+  opt.grid.input_slews = {50 * ps, 100 * ps, 200 * ps};
+  opt.grid.loads = {50 * ff, 200 * ff, 500 * ff, 1 * pf, 1.8 * pf, 3 * pf, 5 * pf};
+  return opt;
+}
+
+// Table 1's "5/1.6, 100X" inductive line: reliably a two-ramp case.
+net::Net inductive_net() {
+  return tech::line_net(*tech::find_paper_wire_case(5.0, 1.6), 20 * ff);
+}
+
+Request inductive_request(std::string label) {
+  Request r;
+  r.label = std::move(label);
+  r.cell_size = 100.0;
+  r.input_slew = 100 * ps;
+  r.net = inductive_net();
+  return r;
+}
+
+class EngineFixture : public ::testing::Test {
+protected:
+  static void SetUpTestSuite() { engine_ = new Engine(tech::Technology::cmos180()); }
+  static void TearDownTestSuite() {
+    delete engine_;
+    engine_ = nullptr;
+  }
+  static Engine* engine_;
+};
+
+Engine* EngineFixture::engine_ = nullptr;
+
+TEST_F(EngineFixture, ModelOnlyMatchesDirectCoreFlow) {
+  const Request req = inductive_request("model-only");
+  const Outcome<Response> outcome = engine_->model(req, fast_options());
+  ASSERT_TRUE(outcome.ok());
+  const Response& r = outcome.value();
+  EXPECT_EQ("model-only", r.label);
+  EXPECT_FALSE(r.has_reference);
+  EXPECT_GT(r.elapsed_s, 0.0);
+
+  // The facade must compute exactly what the core flow computes.
+  const charlib::CharacterizedDriver* driver = engine_->library().find(100.0);
+  ASSERT_NE(nullptr, driver);
+  const core::DriverOutputModel direct =
+      core::model_driver_output(*driver, req.input_slew, req.net, req.model);
+  EXPECT_EQ(direct.kind, r.model.kind);
+  EXPECT_EQ(core::ModelKind::two_ramp, r.model.kind);
+  EXPECT_DOUBLE_EQ(direct.t50, r.model.t50);
+  EXPECT_DOUBLE_EQ(direct.ceff1.ceff, r.model.ceff1.ceff);
+  EXPECT_DOUBLE_EQ(direct.ceff2.ceff, r.model.ceff2.ceff);
+  // model_near is measured on the modeled PWL; its delay is the model's t50.
+  EXPECT_NEAR(r.model.t50, r.model_near.delay, 1e-15);
+  EXPECT_GT(r.model_near.slew, 0.0);
+}
+
+TEST_F(EngineFixture, ReferenceModeMatchesRunExperiment) {
+  Request req = inductive_request("reference");
+  req.reference = true;
+  req.one_ramp_baseline = true;
+  const BatchOptions opt = fast_options();
+  const Outcome<Response> outcome = engine_->model(req, opt);
+  ASSERT_TRUE(outcome.ok());
+  const Response& r = outcome.value();
+  ASSERT_TRUE(r.has_reference);
+
+  // The same scenario through the core harness, with the same library, must
+  // produce bitwise-identical metrics (this is what keeps the rebased
+  // benches' numbers unchanged).
+  core::ExperimentCase scenario;
+  scenario.driver_size = req.cell_size;
+  scenario.input_slew = req.input_slew;
+  scenario.net = req.net;
+  core::ExperimentOptions eopt;
+  eopt.deck = opt.deck;
+  eopt.grid = opt.grid;
+  eopt.include_far_end = true;
+  eopt.include_one_ramp = true;
+  const core::ExperimentResult direct = core::run_experiment(
+      engine_->technology(), engine_->library(), scenario, eopt);
+
+  EXPECT_DOUBLE_EQ(direct.ref_near.delay, r.ref_near.delay);
+  EXPECT_DOUBLE_EQ(direct.ref_near.slew, r.ref_near.slew);
+  EXPECT_DOUBLE_EQ(direct.ref_far.delay, r.ref_far.delay);
+  EXPECT_DOUBLE_EQ(direct.model_near.delay, r.model_near.delay);
+  EXPECT_DOUBLE_EQ(direct.model_far.delay, r.model_far.delay);
+  EXPECT_DOUBLE_EQ(direct.one_near.delay, r.one_near.delay);
+  EXPECT_DOUBLE_EQ(direct.input_time_50, r.input_time_50);
+}
+
+TEST_F(EngineFixture, BatchIsolatesNonConvergentSlot) {
+  // Slot 1 is deliberately non-convergent: one fixed-point iteration cannot
+  // close an inductive case's Ceff1 gap.  The other slots must come back
+  // successful — the acceptance shape: N-1 successes plus one structured
+  // failure.
+  std::vector<Request> requests;
+  requests.push_back(inductive_request("good-0"));
+  requests.push_back(inductive_request("bad-1"));
+  requests[1].model.iteration.max_iter = 1;
+  requests.push_back(inductive_request("good-2"));
+
+  const std::vector<Outcome<Response>> results =
+      engine_->run_batch(requests, fast_options());
+  ASSERT_EQ(3u, results.size());
+
+  EXPECT_TRUE(results[0].ok());
+  EXPECT_TRUE(results[2].ok());
+  ASSERT_FALSE(results[1].ok());
+  EXPECT_EQ(ErrorCode::convergence_failure, results[1].error().code);
+  EXPECT_EQ("bad-1", results[1].error().scenario);
+  EXPECT_NE(std::string::npos, results[1].error().message.find("did not converge"))
+      << results[1].error().message;
+
+  // Opting out of the convergence gate returns the last iterate instead,
+  // with the converged flag still inspectable.
+  requests[1].require_convergence = false;
+  const Outcome<Response> lax = engine_->model(requests[1], fast_options());
+  ASSERT_TRUE(lax.ok());
+  EXPECT_FALSE(lax.value().model.ceff1.converged);
+}
+
+TEST_F(EngineFixture, InvalidRequestsFailWithStructuredErrors) {
+  Request empty_net = inductive_request("empty-net");
+  empty_net.net = net::Net();
+  Request bad_slew = inductive_request("bad-slew");
+  bad_slew.input_slew = -1.0;
+  Request waveforms_without_reference = inductive_request("no-ref-waveforms");
+  waveforms_without_reference.keep_waveforms = true;
+
+  const std::vector<Request> requests = {empty_net, inductive_request("good"),
+                                         bad_slew, waveforms_without_reference};
+  const std::vector<Outcome<Response>> results =
+      engine_->run_batch(requests, fast_options());
+  ASSERT_EQ(4u, results.size());
+
+  ASSERT_FALSE(results[0].ok());
+  EXPECT_EQ(ErrorCode::invalid_request, results[0].error().code);
+  EXPECT_EQ("empty-net", results[0].error().scenario);
+
+  EXPECT_TRUE(results[1].ok());
+
+  ASSERT_FALSE(results[2].ok());
+  EXPECT_EQ(ErrorCode::invalid_request, results[2].error().code);
+  EXPECT_EQ("bad-slew", results[2].error().scenario);
+
+  ASSERT_FALSE(results[3].ok());
+  EXPECT_EQ(ErrorCode::invalid_request, results[3].error().code);
+}
+
+TEST_F(EngineFixture, OutcomeValueThrowsLabeledErrorOnFailure) {
+  Request req = inductive_request("unwrapped-failure");
+  req.net = net::Net();
+  const Outcome<Response> outcome = engine_->model(req, fast_options());
+  ASSERT_FALSE(outcome.ok());
+  try {
+    (void)outcome.value();
+    FAIL() << "value() on a failed outcome must throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string::npos, std::string(e.what()).find("unwrapped-failure"))
+        << e.what();
+    EXPECT_NE(std::string::npos, std::string(e.what()).find("invalid_request"))
+        << e.what();
+  }
+
+  // The mirror-image misuse: error() on a successful outcome throws too.
+  const Outcome<Response> good =
+      engine_->model(inductive_request("good"), fast_options());
+  ASSERT_TRUE(good.ok());
+  EXPECT_THROW((void)good.error(), Error);
+}
+
+TEST(EngineCache, CharacterizationFailureIsReportedPerSlot) {
+  // An unusable grid makes characterization itself throw.  run_batch must
+  // not propagate that: every slot needing the size carries the error (and
+  // the characterization is attempted once, not once per slot).
+  Engine engine{tech::Technology::cmos180()};
+  BatchOptions opt = fast_options();
+  opt.grid.input_slews.clear();
+  opt.grid.loads.clear();
+
+  const std::vector<Request> requests = {inductive_request("a"),
+                                         inductive_request("b")};
+  const std::vector<Outcome<Response>> results = engine.run_batch(requests, opt);
+  ASSERT_EQ(2u, results.size());
+  for (std::size_t k = 0; k < results.size(); ++k) {
+    ASSERT_FALSE(results[k].ok()) << "slot " << k;
+    EXPECT_EQ(ErrorCode::model_error, results[k].error().code);
+    EXPECT_FALSE(results[k].error().message.empty());
+  }
+  EXPECT_EQ("a", results[0].error().scenario);
+  EXPECT_EQ("b", results[1].error().scenario);
+  EXPECT_EQ(0u, engine.library().size());
+}
+
+TEST(EngineCache, WarmCacheAndLibraryRoundTrip) {
+  const BatchOptions opt = fast_options();
+  Engine first{tech::Technology::cmos180()};
+  first.warm_cache({50.0}, opt.grid);
+  ASSERT_NE(nullptr, first.library().find(50.0));
+
+  Request req = inductive_request("round-trip");
+  req.cell_size = 50.0;
+  const Response before = first.model(req, opt).value();
+
+  const std::string path = ::testing::TempDir() + "rlceff_api_roundtrip.lib";
+  first.save_library(path);
+
+  // A fresh engine picks the characterization up from disk: no cell is
+  // characterized again, and the model comes out bitwise identical.
+  Engine second{tech::Technology::cmos180()};
+  EXPECT_FALSE(second.load_library(path + ".does-not-exist"));
+  ASSERT_TRUE(second.load_library(path));
+  ASSERT_NE(nullptr, second.library().find(50.0));
+  EXPECT_EQ(1u, second.library().size());
+
+  const Response after = second.model(req, opt).value();
+  EXPECT_DOUBLE_EQ(before.model.t50, after.model.t50);
+  EXPECT_DOUBLE_EQ(before.model.ceff1.ceff, after.model.ceff1.ceff);
+  EXPECT_DOUBLE_EQ(before.model_near.slew, after.model_near.slew);
+
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace rlceff::api

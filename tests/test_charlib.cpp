@@ -7,8 +7,10 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <vector>
 
 #include "charlib/library.h"
+#include "sim/sweep.h"
 #include "test_helpers.h"
 #include "util/error.h"
 #include "util/units.h"
@@ -116,7 +118,8 @@ TEST_F(CharacterizedDriverFixture, LibraryRoundTripPreservesTables) {
   lib.add(*driver_);
   std::stringstream buffer;
   lib.save(buffer);
-  const CellLibrary loaded = CellLibrary::load(buffer);
+  CellLibrary loaded;
+  loaded.load(buffer);
   ASSERT_EQ(1u, loaded.size());
   const CharacterizedDriver* d = loaded.find(75.0);
   ASSERT_NE(nullptr, d);
@@ -134,7 +137,22 @@ TEST_F(CharacterizedDriverFixture, LibraryRoundTripPreservesTables) {
 
 TEST_F(CharacterizedDriverFixture, LoadRejectsCorruptStream) {
   std::stringstream buffer("not_a_library 1");
-  EXPECT_THROW(CellLibrary::load(buffer), Error);
+  CellLibrary lib;
+  EXPECT_THROW(lib.load(buffer), Error);
+}
+
+TEST_F(CharacterizedDriverFixture, LoadMergesAndSkipsExistingSizes) {
+  CellLibrary lib;
+  lib.add(*driver_);
+  std::stringstream buffer;
+  lib.save(buffer);
+
+  // Merging a stream into a library that already has the size is a no-op;
+  // the original driver object stays in place.
+  const CharacterizedDriver* before = lib.find(75.0);
+  lib.load(buffer);
+  EXPECT_EQ(1u, lib.size());
+  EXPECT_EQ(before, lib.find(75.0));
 }
 
 TEST_F(CharacterizedDriverFixture, DuplicateSizeRejected) {
@@ -153,6 +171,43 @@ TEST(CellLibrary, EnsureDriverCaches) {
   const CharacterizedDriver& b = lib.ensure_driver(t, 50.0, grid);
   EXPECT_EQ(&a, &b);
   EXPECT_EQ(1u, lib.size());
+}
+
+// Regression for the pre-api::Engine hazard: ensure_driver was unguarded and
+// returned vector references that the next push_back invalidated, so two
+// sweep workers requesting uncharacterized cells raced and could read freed
+// memory.  Hammer one shared library from a parallel sweep (the exact shape
+// the Engine's run_batch uses) and check that every worker saw the same
+// stable driver object per size; the sanitizer CI job turns any surviving
+// race or dangling reference into a hard failure.
+TEST(CellLibrary, EnsureDriverIsThreadSafeUnderParallelSweep) {
+  const tech::Technology t = tech::Technology::cmos180();
+  CellLibrary lib;
+  CharacterizationGrid grid;
+  grid.input_slews = {100 * ps};
+  grid.loads = {100 * ff, 500 * ff};
+  grid.n_threads = 1;  // no nested pools; the outer sweep supplies parallelism
+
+  const std::vector<double> sizes = {25.0, 50.0, 75.0, 100.0};
+  constexpr std::size_t n_tasks = 32;
+  std::vector<const CharacterizedDriver*> seen(n_tasks, nullptr);
+  sim::run_indexed_sweep(
+      n_tasks,
+      [&](std::size_t i) {
+        const CharacterizedDriver& d =
+            lib.ensure_driver(t, sizes[i % sizes.size()], grid);
+        // Touch the tables through the reference: a dangling reference here
+        // is what the old vector-backed library produced.
+        ASSERT_GT(d.delay(100 * ps, 300 * ff), 0.0);
+        seen[i] = &d;
+      },
+      8);
+
+  ASSERT_EQ(sizes.size(), lib.size());
+  for (std::size_t i = 0; i < n_tasks; ++i) {
+    EXPECT_EQ(lib.find(sizes[i % sizes.size()]), seen[i])
+        << "task " << i << " saw a non-canonical driver reference";
+  }
 }
 
 TEST(Characterize, StrongerDriverIsFasterAndStiffer) {

@@ -92,6 +92,57 @@ TEST(Sweep, LowestFailingIndexIsRethrown) {
   }
 }
 
+TEST(Sweep, CollectIsolatesFailuresPerSlot) {
+  // Unlike run_sweep, the collect variant never throws: failing slots carry
+  // their own exception, every other slot carries its result.
+  std::vector<int> scenarios;
+  for (int k = 0; k < 20; ++k) scenarios.push_back(k);
+  for (unsigned n_threads : {1u, 2u, 5u}) {
+    const auto slots = run_sweep_collect(
+        scenarios,
+        [](const int& s) {
+          if (s == 3 || s == 11) throw Error("task " + std::to_string(s) + " failed");
+          return 2 * s;
+        },
+        n_threads);
+    ASSERT_EQ(scenarios.size(), slots.size());
+    for (int k = 0; k < 20; ++k) {
+      const auto& slot = slots[static_cast<std::size_t>(k)];
+      if (k == 3 || k == 11) {
+        EXPECT_FALSE(slot.ok());
+        ASSERT_TRUE(slot.error != nullptr);
+        try {
+          std::rethrow_exception(slot.error);
+        } catch (const Error& e) {
+          EXPECT_NE(std::string(e.what()).find("task " + std::to_string(k)),
+                    std::string::npos)
+              << e.what();
+        }
+      } else {
+        ASSERT_TRUE(slot.ok()) << "index " << k << " threads " << n_threads;
+        EXPECT_EQ(2 * k, *slot.result);
+        EXPECT_TRUE(slot.error == nullptr);
+      }
+    }
+  }
+}
+
+TEST(Sweep, CollectAllSuccessAndAllFailure) {
+  const std::vector<int> scenarios{1, 2, 3};
+  const auto ok = run_sweep_collect(scenarios, [](const int& s) { return s; }, 2);
+  for (const auto& slot : ok) EXPECT_TRUE(slot.ok());
+
+  const auto bad = run_sweep_collect(
+      scenarios, [](const int&) -> int { throw Error("boom"); }, 2);
+  for (const auto& slot : bad) {
+    EXPECT_FALSE(slot.ok());
+    EXPECT_TRUE(slot.error != nullptr);
+  }
+
+  const std::vector<int> none;
+  EXPECT_TRUE(run_sweep_collect(none, [](const int& s) { return s; }, 2).empty());
+}
+
 // End-to-end: a batch of independent transients gives identical waveform
 // samples no matter how many workers ran it.
 TEST(Sweep, ParallelTransientsMatchSerial) {

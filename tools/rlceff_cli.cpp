@@ -1,0 +1,230 @@
+// rlceff_cli — the service-shaped entry point: read a scenario deck, run it
+// through api::Engine::run_batch, print per-net delay/slew.
+//
+// Deck format (plain text, '#' comments, one net per line):
+//
+//   # label  driver_size  slew_ps  length_mm  width_um  cload_ff
+//   net0     100          100      5.0        1.6       20
+//
+// Geometry is turned into RLC parasitics by the built-in wire model (the
+// same fit the paper benches use).  Failed nets are reported with their
+// structured error code and do not abort the rest of the batch; the exit
+// code is 0 when every net succeeded, 2 when any slot failed.
+//
+// Usage:
+//   rlceff_cli [options] <deck-file>
+//     --library <path>   load the cell cache from <path> before the run and
+//                        save it back afterwards (repeated invocations skip
+//                        re-characterization)
+//     --grid small       use a small characterization grid (CI/smoke runs)
+//     --reference        also run the transient reference and print errors
+//     --threads <n>      sweep pool width (default: hardware concurrency)
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "api/engine.h"
+#include "tech/wire.h"
+#include "util/units.h"
+
+using namespace rlceff;
+using namespace rlceff::units;
+
+namespace {
+
+struct CliOptions {
+  std::string deck_path;
+  std::string library_path;  // empty = no persistence
+  bool small_grid = false;
+  bool reference = false;
+  unsigned n_threads = 0;
+};
+
+void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--library <path>] [--grid small|standard] "
+               "[--reference] [--threads <n>] <deck-file>\n",
+               argv0);
+}
+
+bool parse_args(int argc, char** argv, CliOptions& opt) {
+  for (int k = 1; k < argc; ++k) {
+    const std::string arg = argv[k];
+    auto next = [&]() -> const char* { return k + 1 < argc ? argv[++k] : nullptr; };
+    if (arg == "--library") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt.library_path = v;
+    } else if (arg == "--grid") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      if (std::strcmp(v, "small") == 0) {
+        opt.small_grid = true;
+      } else if (std::strcmp(v, "standard") != 0) {
+        std::fprintf(stderr, "unknown grid '%s' (want small|standard)\n", v);
+        return false;
+      }
+    } else if (arg == "--reference") {
+      opt.reference = true;
+    } else if (arg == "--threads") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt.n_threads = static_cast<unsigned>(std::atoi(v));
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+      return false;
+    } else if (opt.deck_path.empty()) {
+      opt.deck_path = arg;
+    } else {
+      std::fprintf(stderr, "more than one deck file given\n");
+      return false;
+    }
+  }
+  return !opt.deck_path.empty();
+}
+
+// One parsed deck line.  Net construction is deferred to request build time
+// so a malformed geometry surfaces as a per-net Outcome failure, not a
+// deck-parse abort.
+struct DeckNet {
+  std::string label;
+  double driver_size = 0.0;
+  double slew_ps = 0.0;
+  double length_mm = 0.0;
+  double width_um = 0.0;
+  double cload_ff = 0.0;
+};
+
+bool read_deck(const std::string& path, std::vector<DeckNet>& nets) {
+  std::ifstream in(path);
+  if (!in.good()) {
+    std::fprintf(stderr, "cannot open deck file: %s\n", path.c_str());
+    return false;
+  }
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream fields(line);
+    DeckNet net;
+    if (!(fields >> net.label)) continue;  // blank/comment-only line
+    if (!(fields >> net.driver_size >> net.slew_ps >> net.length_mm >>
+          net.width_um >> net.cload_ff)) {
+      std::fprintf(stderr, "%s:%zu: expected 'label size slew_ps length_mm "
+                           "width_um cload_ff'\n",
+                   path.c_str(), line_no);
+      return false;
+    }
+    nets.push_back(std::move(net));
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions cli;
+  if (!parse_args(argc, argv, cli)) {
+    usage(argv[0]);
+    return 1;
+  }
+
+  std::vector<DeckNet> deck;
+  if (!read_deck(cli.deck_path, deck)) return 1;
+  if (deck.empty()) {
+    std::fprintf(stderr, "deck %s holds no nets\n", cli.deck_path.c_str());
+    return 1;
+  }
+
+  api::Engine engine{tech::Technology::cmos180()};
+  if (!cli.library_path.empty()) {
+    try {
+      if (engine.load_library(cli.library_path)) {
+        std::printf("# loaded %zu cell(s) from %s\n", engine.library().size(),
+                    cli.library_path.c_str());
+      }
+    } catch (const Error& e) {
+      std::fprintf(stderr, "# ignoring unreadable library %s: %s\n",
+                   cli.library_path.c_str(), e.what());
+    }
+  }
+
+  api::BatchOptions options;
+  options.n_threads = cli.n_threads;
+  if (cli.small_grid) {
+    options.grid.input_slews = {50 * ps, 100 * ps, 200 * ps};
+    options.grid.loads = {50 * ff, 200 * ff, 500 * ff, 1 * pf, 2 * pf, 4 * pf};
+  }
+
+  const tech::WireModel wires;
+  std::vector<api::Request> requests;
+  // Invalid geometry (e.g. a zero-length net) must not abort the batch: the
+  // construction error (which names the offending element) is kept per net
+  // and reported in place of the engine's generic empty-net rejection.
+  std::vector<std::string> build_errors(deck.size());
+  for (std::size_t k = 0; k < deck.size(); ++k) {
+    const DeckNet& net = deck[k];
+    api::Request r;
+    r.label = net.label;
+    r.cell_size = net.driver_size;
+    r.input_slew = net.slew_ps * ps;
+    try {
+      r.net = tech::line_net(wires.extract({net.length_mm * mm, net.width_um * um}),
+                             net.cload_ff * ff);
+    } catch (const Error& e) {
+      build_errors[k] = e.what();
+    }
+    r.reference = cli.reference;
+    r.far_end = false;
+    requests.push_back(std::move(r));
+  }
+
+  const std::vector<api::Outcome<api::Response>> results =
+      engine.run_batch(requests, options);
+
+  if (cli.reference) {
+    std::printf("%-12s %-9s %11s %11s %11s %11s\n", "net", "model", "delay [ps]",
+                "slew [ps]", "ref d [ps]", "ref s [ps]");
+  } else {
+    std::printf("%-12s %-9s %11s %11s\n", "net", "model", "delay [ps]", "slew [ps]");
+  }
+  std::size_t failed = 0;
+  for (std::size_t k = 0; k < results.size(); ++k) {
+    if (!results[k].ok()) {
+      ++failed;
+      const api::ErrorInfo& e = results[k].error();
+      const std::string& message =
+          build_errors[k].empty() ? e.message : build_errors[k];
+      std::printf("%-12s ERROR [%s]: %s\n", deck[k].label.c_str(),
+                  api::to_string(e.code), message.c_str());
+      continue;
+    }
+    const api::Response& r = results[k].value();
+    const char* kind = r.model.kind == core::ModelKind::one_ramp ? "one-ramp"
+                       : r.model.kind == core::ModelKind::two_ramp ? "two-ramp"
+                                                                   : "three-ramp";
+    if (cli.reference) {
+      std::printf("%-12s %-9s %11.2f %11.2f %11.2f %11.2f\n", r.label.c_str(), kind,
+                  r.model_near.delay / ps, r.model_near.slew / ps,
+                  r.ref_near.delay / ps, r.ref_near.slew / ps);
+    } else {
+      std::printf("%-12s %-9s %11.2f %11.2f\n", r.label.c_str(), kind,
+                  r.model_near.delay / ps, r.model_near.slew / ps);
+    }
+  }
+  std::printf("# %zu net(s), %zu failed\n", results.size(), failed);
+
+  if (!cli.library_path.empty()) {
+    engine.save_library(cli.library_path);
+    std::printf("# saved %zu cell(s) to %s\n", engine.library().size(),
+                cli.library_path.c_str());
+  }
+  return failed == 0 ? 0 : 2;
+}
