@@ -6,6 +6,7 @@
 #include <fstream>
 #include <utility>
 
+#include "core/coupled_experiment.h"
 #include "core/experiment.h"
 #include "sim/sweep.h"
 #include "waveform/waveform.h"
@@ -20,10 +21,54 @@ void validate(const Request& r) {
   };
   if (!(r.cell_size > 0.0)) reject("cell size must be positive");
   if (!(r.input_slew > 0.0)) reject("input slew must be positive");
-  if (r.net.empty()) reject("net is empty");
+  if (r.coupled()) {
+    if (!r.net.empty()) reject("both net and coupled group set");
+    if (r.victim >= r.group.size()) {
+      reject("victim index " + std::to_string(r.victim) + " out of range (group has " +
+             std::to_string(r.group.size()) + " nets)");
+    }
+    std::vector<bool> seen(r.group.size(), false);
+    for (const Aggressor& a : r.aggressors) {
+      if (a.net >= r.group.size()) {
+        reject("aggressor net index " + std::to_string(a.net) + " out of range");
+      }
+      if (a.net == r.victim) reject("the victim cannot be its own aggressor");
+      if (seen[a.net]) {
+        reject("duplicate aggressor for net '" + r.group.label_at(a.net) + "'");
+      }
+      seen[a.net] = true;
+      if (!(a.cell_size > 0.0)) reject("aggressor cell size must be positive");
+      if (!(a.input_slew > 0.0)) reject("aggressor input slew must be positive");
+    }
+  } else {
+    if (!r.aggressors.empty()) reject("aggressors without a coupled group");
+    if (r.net.empty()) reject("net is empty");
+  }
   if (!r.reference && (r.one_ramp_baseline || r.keep_waveforms)) {
     reject("one_ramp_baseline/keep_waveforms need the reference simulation");
   }
+  if (r.coupled() && r.one_ramp_baseline) {
+    reject("the one-ramp baseline is a single-net comparison column");
+  }
+}
+
+// Maps a coupled api::Request onto the core experiment case: the aggressor
+// list (indexed by group net, victim slot ignored) defaults every unnamed
+// net to a quiet neighbor.
+core::CoupledExperimentCase coupled_case(const Request& r) {
+  core::CoupledExperimentCase scenario;
+  scenario.label = r.label;
+  scenario.group = r.group;
+  scenario.victim = r.victim;
+  scenario.driver_size = r.cell_size;
+  scenario.input_slew = r.input_slew;
+  core::AggressorDrive unnamed;  // core defaults, held quiet
+  unnamed.switching = core::AggressorSwitching::quiet;
+  scenario.aggressors.assign(r.group.size(), unnamed);
+  for (const Aggressor& a : r.aggressors) {
+    scenario.aggressors[a.net] = {a.cell_size, a.input_slew, a.switching};
+  }
+  return scenario;
 }
 
 // The Ceff iterations report non-convergence via their converged flags; the
@@ -61,6 +106,70 @@ Response Engine::model_or_throw(const Request& request, const BatchOptions& opti
 
   Response response;
   response.label = request.label;
+
+  if (request.coupled()) {
+    response.has_coupling = true;
+    if (request.reference) {
+      core::CoupledExperimentOptions opt;
+      opt.deck = options.deck;
+      opt.grid = options.grid;
+      opt.model = request.model;
+      opt.include_far_end = request.far_end;
+      opt.include_noise = request.noise;
+      opt.keep_waveforms = request.keep_waveforms;
+
+      core::CoupledExperimentResult r = core::run_coupled_experiment(
+          technology_, library_, coupled_case(request), opt);
+      // The pushout estimate leans on the quiet-baseline model too; a
+      // non-converged baseline must fail the slot like the primary model.
+      check_convergence(request, r.model_base);
+      response.model = std::move(r.model);
+      response.model_near = r.model_near;
+      response.has_reference = true;
+      response.ref_near = r.ref_near;
+      response.ref_far = r.ref_far;
+      response.model_far = r.model_far;
+      response.base_near = r.base_near;
+      response.base_far = r.base_far;
+      response.delay_pushout = r.delay_pushout;
+      response.delay_pushout_model = r.delay_pushout_model;
+      response.peak_noise = r.peak_noise;
+      response.input_time_50 = r.input_time_50;
+      response.ref_near_wave = std::move(r.ref_near_wave);
+      response.ref_far_wave = std::move(r.ref_far_wave);
+    } else {
+      // Model-only coupled path: the paper's flow on the Miller-decoupled
+      // victim plus the quiet-environment model for the pushout estimate.
+      // (No core case is built here — the factors come straight from the
+      // aggressor list, nets without an entry staying quiet at 1x.)
+      const charlib::CharacterizedDriver& driver =
+          library_.ensure_driver(technology_, request.cell_size, options.grid);
+      std::vector<double> factors(request.group.size(), 1.0);
+      for (const Aggressor& a : request.aggressors) {
+        factors[a.net] = core::miller_factor(a.switching);
+      }
+      response.model = core::model_driver_output(
+          driver, request.input_slew,
+          request.group.decoupled_net(request.victim, factors), request.model);
+      response.model_near = measure_model(response.model, technology_.vdd);
+      // With all-quiet aggressors the Miller net is the quiet net: the
+      // pushout is exactly zero, no second Ceff run needed.
+      const bool all_quiet = std::all_of(factors.begin(), factors.end(),
+                                         [](double f) { return f == 1.0; });
+      if (!all_quiet) {
+        const core::DriverOutputModel base = core::model_driver_output(
+            driver, request.input_slew,
+            request.group.decoupled_net(request.victim), request.model);
+        check_convergence(request, base);
+        response.delay_pushout_model =
+            response.model_near.delay - measure_model(base, technology_.vdd).delay;
+      }
+    }
+    check_convergence(request, response.model);
+    response.elapsed_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    return response;
+  }
 
   if (request.reference) {
     core::ExperimentCase scenario;

@@ -10,14 +10,27 @@
 #define RLCEFF_API_REQUEST_H
 
 #include <string>
+#include <vector>
 
 #include "charlib/characterize.h"
+#include "core/coupled_experiment.h"
 #include "core/driver_model.h"
 #include "core/experiment.h"
+#include "net/coupled.h"
 #include "net/net.h"
 #include "tech/testbench.h"
 
 namespace rlceff::api {
+
+// One aggressor in a coupled request: which group net it drives, how hard,
+// and which way it switches relative to the victim's rising edge.  Group
+// nets without an Aggressor entry are quiet (1x Miller, held low).
+struct Aggressor {
+  std::size_t net = 0;  // index into Request::group
+  double cell_size = 75.0;
+  double input_slew = 100e-12;
+  core::AggressorSwitching switching = core::AggressorSwitching::opposite;
+};
 
 // One net-modeling job.  The default is the production shape: model-only,
 // i.e. what a library-based static timing engine computes without any SPICE
@@ -28,6 +41,17 @@ struct Request {
   double input_slew = 100e-12;     // full-swing input ramp time [s]
   net::Net net;                    // the interconnect the driver drives
   core::DriverModelOptions model;  // paper flow controls (Eq 1-9)
+
+  // Coupled-net request: when `group` is non-empty, `net` must stay empty
+  // and the engine models the victim net of the group instead — Ceff on the
+  // Miller-decoupled equivalent, and (in reference mode) the full coupled
+  // simulation with delay pushout and quiet-victim peak noise.
+  net::CoupledGroup group;
+  std::size_t victim = 0;            // index of the victim net in `group`
+  std::vector<Aggressor> aggressors; // the switching neighbors
+  bool noise = true;                 // coupled reference mode: also run the
+                                     // quiet-victim noise simulation
+  bool coupled() const { return !group.empty(); }
 
   bool reference = false;          // also run the transient reference sim
   bool far_end = true;             // replay the model at the far end (reference mode)
@@ -53,6 +77,15 @@ struct Response {
   core::EdgeMetrics model_far;   // modeled PWL replayed through the net
   core::EdgeMetrics one_near;    // one-ramp baseline at the driver output
   core::DriverOutputModel one_ramp;
+
+  // Coupled-request fields; only meaningful when has_coupling is set.
+  bool has_coupling = false;
+  double delay_pushout_model = 0.0;  // Miller-model near-end pushout vs 1x [s]
+  // Reference-backed coupled fields (has_reference also set):
+  double delay_pushout = 0.0;        // simulated far-end pushout vs 1x [s]
+  double peak_noise = 0.0;           // quiet-victim far-end noise bump [V]
+  core::EdgeMetrics base_near;       // simulated quiet-environment baseline
+  core::EdgeMetrics base_far;
 
   // Populated when keep_waveforms is set; times are absolute deck time.
   wave::Waveform ref_near_wave;

@@ -1,5 +1,7 @@
 #include "circuit/builders.h"
 
+#include <cmath>
+
 #include "util/error.h"
 
 namespace rlceff::ckt {
@@ -18,6 +20,8 @@ LadderNodes append_rlc_ladder(Netlist& netlist, NodeId from, double r_total,
   LadderNodes out;
   out.near_end = from;
   netlist.add_capacitor(from, ground, 0.5 * c_seg);
+  out.taps.reserve(segments + 1);
+  out.taps.push_back(from);
 
   NodeId prev = from;
   for (std::size_t k = 0; k < segments; ++k) {
@@ -35,6 +39,7 @@ LadderNodes append_rlc_ladder(Netlist& netlist, NodeId from, double r_total,
     // end receives the final half-segment below.
     const double shunt = (k + 1 == segments) ? 0.5 * c_seg : c_seg;
     netlist.add_capacitor(next, ground, shunt);
+    out.taps.push_back(next);
     if (k + 1 < segments) out.internal.push_back(next);
     prev = next;
   }
@@ -57,10 +62,21 @@ void compile_branch(Netlist& netlist, NodeId from, const net::Branch& branch,
                     std::size_t segments, NetDeckNodes& out) {
   NodeId far = from;
   for (const net::Section& section : branch.sections) {
+    SectionDeckNodes deck;
+    const std::size_t first_inductor = netlist.inductors().size();
     if (section.resistance > 0.0 && section.capacitance > 0.0) {
-      far = append_rlc_ladder(netlist, far, section.resistance, section.inductance,
-                              section.capacitance, segments)
-                .far_end;
+      LadderNodes ladder =
+          append_rlc_ladder(netlist, far, section.resistance, section.inductance,
+                            section.capacitance, segments);
+      far = ladder.far_end;
+      deck.taps = std::move(ladder.taps);
+      deck.tap_weights.assign(deck.taps.size(), 1.0 / static_cast<double>(segments));
+      deck.tap_weights.front() *= 0.5;
+      deck.tap_weights.back() *= 0.5;
+      for (std::size_t k = first_inductor; k < netlist.inductors().size(); ++k) {
+        deck.inductors.push_back(k);
+      }
+      out.sections.push_back(std::move(deck));
       continue;
     }
     // Degenerate lumped sections (validation keeps these out of distributed
@@ -84,6 +100,12 @@ void compile_branch(Netlist& netlist, NodeId from, const net::Branch& branch,
     if (section.capacitance > 0.0) {
       netlist.add_capacitor(far, ground, section.capacitance);
     }
+    deck.taps.push_back(far);
+    deck.tap_weights.push_back(1.0);
+    for (std::size_t k = first_inductor; k < netlist.inductors().size(); ++k) {
+      deck.inductors.push_back(k);
+    }
+    out.sections.push_back(std::move(deck));
   }
   if (branch.c_load > 0.0) netlist.add_capacitor(far, ground, branch.c_load);
   if (!branch.probe.empty()) out.probes.emplace_back(branch.probe, far);
@@ -104,6 +126,52 @@ NetDeckNodes append_net(Netlist& netlist, NodeId from, const net::Net& net,
   NetDeckNodes out;
   out.near_end = from;
   compile_branch(netlist, from, net.root(), segments_per_section, out);
+  return out;
+}
+
+CoupledDeckNodes append_coupled_group(Netlist& netlist, std::span<const NodeId> from,
+                                      const net::CoupledGroup& group,
+                                      std::size_t segments_per_section) {
+  ensure(!group.empty(), "append_coupled_group: empty group");
+  ensure(from.size() == group.size(),
+         "append_coupled_group: need one driving node per net");
+
+  CoupledDeckNodes out;
+  out.nets.reserve(group.size());
+  for (std::size_t k = 0; k < group.size(); ++k) {
+    out.nets.push_back(
+        append_net(netlist, from[k], group.net_at(k), segments_per_section));
+  }
+
+  auto section_of = [&](const net::SectionRef& r) -> const SectionDeckNodes& {
+    return out.nets[r.net].sections[r.section];
+  };
+
+  for (const net::CouplingCap& cc : group.coupling_caps()) {
+    const SectionDeckNodes& a = section_of(cc.a);
+    const SectionDeckNodes& b = section_of(cc.b);
+    // Group validation restricts coupling to distributed sections, which all
+    // discretize with the same segment count, so the ladders align tap for
+    // tap.
+    ensure(a.taps.size() == b.taps.size(),
+           "append_coupled_group: coupled sections discretized differently");
+    for (std::size_t k = 0; k < a.taps.size(); ++k) {
+      netlist.add_capacitor(a.taps[k], b.taps[k], cc.capacitance * a.tap_weights[k]);
+    }
+  }
+
+  for (const net::MutualCoupling& mc : group.mutual_couplings()) {
+    const SectionDeckNodes& a = section_of(mc.a);
+    const SectionDeckNodes& b = section_of(mc.b);
+    ensure(a.inductors.size() == b.inductors.size() && !a.inductors.empty(),
+           "append_coupled_group: mutually coupled sections discretized differently");
+    for (std::size_t k = 0; k < a.inductors.size(); ++k) {
+      const double la = netlist.inductors()[a.inductors[k]].inductance;
+      const double lb = netlist.inductors()[b.inductors[k]].inductance;
+      netlist.add_mutual_inductor(a.inductors[k], b.inductors[k],
+                                  mc.k * std::sqrt(la * lb));
+    }
+  }
   return out;
 }
 

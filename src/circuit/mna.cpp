@@ -33,6 +33,10 @@ MnaStructure::MnaStructure(const Netlist& netlist) {
     couple_node_branch(l.b, l_base + k);
     couple_nodes(l.a, l.b);
   }
+  // A mutual inductance couples the two inductor branch equations directly.
+  for (const MutualInductor& m : netlist.mutual_inductors()) {
+    graph.add_edge(l_base + m.la, l_base + m.lb);
+  }
   for (std::size_t k = 0; k < netlist.vsources().size(); ++k) {
     const VSource& v = netlist.vsources()[k];
     couple_node_branch(v.pos, v_base + k);

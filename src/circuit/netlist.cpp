@@ -1,5 +1,7 @@
 #include "circuit/netlist.h"
 
+#include <cmath>
+
 #include "util/error.h"
 
 namespace rlceff::ckt {
@@ -38,6 +40,28 @@ void Netlist::add_capacitor(NodeId a, NodeId b, double capacitance) {
 void Netlist::add_inductor(NodeId a, NodeId b, double inductance) {
   ensure(inductance > 0.0, "Netlist: inductance must be positive");
   inductors_.push_back({check(a), check(b), inductance});
+}
+
+void Netlist::add_mutual_inductor(std::size_t la, std::size_t lb, double mutual) {
+  ensure(la < inductors_.size() && lb < inductors_.size(),
+         "Netlist: mutual inductor references an unknown inductor");
+  ensure(la != lb, "Netlist: mutual inductor must couple two distinct inductors");
+  const double limit =
+      std::sqrt(inductors_[la].inductance * inductors_[lb].inductance);
+  ensure(std::isfinite(mutual) && mutual != 0.0 && std::abs(mutual) < limit,
+         "Netlist: mutual inductance must satisfy 0 < |M| < sqrt(La*Lb)");
+  // K elements on the same inductor pair sum; the aggregate must stay under
+  // the passivity limit too.
+  double total = std::abs(mutual);
+  for (const MutualInductor& m : mutuals_) {
+    if ((m.la == la && m.lb == lb) || (m.la == lb && m.lb == la)) {
+      total += std::abs(m.mutual);
+    }
+  }
+  ensure(total < limit,
+         "Netlist: mutual inductance on this inductor pair accumulates past "
+         "sqrt(La*Lb) (non-passive)");
+  mutuals_.push_back({la, lb, mutual});
 }
 
 std::size_t Netlist::add_vsource(NodeId pos, NodeId neg, wave::Pwl voltage) {

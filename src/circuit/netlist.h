@@ -44,6 +44,16 @@ struct VSource {
   wave::Pwl voltage;  // evaluated at simulation time
 };
 
+// Mutual inductance (a SPICE K element) between two existing inductors,
+// identified by their indices in inductors().  The mutual adds M * di/dt of
+// each branch to the other branch's voltage; passivity requires
+// |M| < sqrt(La * Lb).
+struct MutualInductor {
+  std::size_t la;  // index into inductors()
+  std::size_t lb;
+  double mutual;   // M [H]
+};
+
 struct Mosfet {
   NodeId drain;
   NodeId gate;
@@ -68,6 +78,7 @@ public:
   void add_resistor(NodeId a, NodeId b, double resistance);
   void add_capacitor(NodeId a, NodeId b, double capacitance);
   void add_inductor(NodeId a, NodeId b, double inductance);
+  void add_mutual_inductor(std::size_t la, std::size_t lb, double mutual);
   std::size_t add_vsource(NodeId pos, NodeId neg, wave::Pwl voltage);
   void add_mosfet(NodeId drain, NodeId gate, NodeId source, const MosfetParams& params,
                   double width, bool is_pmos);
@@ -75,6 +86,7 @@ public:
   const std::vector<Resistor>& resistors() const { return resistors_; }
   const std::vector<Capacitor>& capacitors() const { return capacitors_; }
   const std::vector<Inductor>& inductors() const { return inductors_; }
+  const std::vector<MutualInductor>& mutual_inductors() const { return mutuals_; }
   const std::vector<VSource>& vsources() const { return vsources_; }
   const std::vector<Mosfet>& mosfets() const { return mosfets_; }
 
@@ -95,6 +107,7 @@ private:
   std::vector<Resistor> resistors_;
   std::vector<Capacitor> capacitors_;
   std::vector<Inductor> inductors_;
+  std::vector<MutualInductor> mutuals_;
   std::vector<VSource> vsources_;
   std::vector<Mosfet> mosfets_;
 };

@@ -10,26 +10,32 @@ namespace rlceff::core {
 
 namespace {
 
-EdgeMetrics measure(const wave::Waveform& w, double vdd, double t_reference) {
-  const wave::EdgeTiming e = wave::measure_rising_edge(w, 0.0, vdd);
-  return {e.t50 - t_reference, e.transition_10_90()};
-}
-
 // Sizes the horizon so even the slowest (weak driver, long line) case fully
 // completes its 90 % crossing with margin.
 double auto_t_stop(const ExperimentCase& c, const net::NetMetrics& metrics,
                    const tech::DeckOptions& deck) {
-  const double rs_estimate = 3.7e3 / c.driver_size;
-  const double c_total = metrics.wire_capacitance + metrics.load_capacitance;
-  const double settle = 6.0 * (rs_estimate + metrics.path_resistance) * c_total +
-                        4.0 * metrics.time_of_flight;
-  return deck.t_start + c.input_slew + std::max(1e-9, settle);
+  return deck.t_start + c.input_slew +
+         std::max(1e-9, settle_time(c.driver_size, metrics));
 }
 
 }  // namespace
 
+double settle_time(double driver_size, const net::NetMetrics& metrics,
+                   double extra_cap) {
+  const double rs_estimate = 3.7e3 / driver_size;
+  const double c_total =
+      metrics.wire_capacitance + metrics.load_capacitance + extra_cap;
+  return 6.0 * (rs_estimate + metrics.path_resistance) * c_total +
+         4.0 * metrics.time_of_flight;
+}
+
 double pct_error(double model, double reference) {
   return 100.0 * util::relative_error(model, reference);
+}
+
+EdgeMetrics measure_edge(const wave::Waveform& w, double vdd, double t_reference) {
+  const wave::EdgeTiming e = wave::measure_rising_edge(w, 0.0, vdd);
+  return {e.t50 - t_reference, e.transition_10_90()};
 }
 
 ExperimentResult run_experiment(const tech::Technology& technology,
@@ -49,8 +55,8 @@ ExperimentResult run_experiment(const tech::Technology& technology,
       technology, cell, scenario.input_slew, scenario.net, deck);
   const wave::Waveform& ref_far = ref.leaves.at(metrics.dominant_leaf);
   out.input_time_50 = ref.input_time_50;
-  out.ref_near = measure(ref.near_end, technology.vdd, ref.input_time_50);
-  out.ref_far = measure(ref_far, technology.vdd, ref.input_time_50);
+  out.ref_near = measure_edge(ref.near_end, technology.vdd, ref.input_time_50);
+  out.ref_far = measure_edge(ref_far, technology.vdd, ref.input_time_50);
 
   // Library model (the paper's flow).
   const charlib::CharacterizedDriver& driver =
@@ -60,7 +66,7 @@ ExperimentResult run_experiment(const tech::Technology& technology,
   {
     const wave::Waveform w = out.model.waveform.to_waveform(
         out.model.waveform.end_time() + deck.t_stop);
-    out.model_near = measure(w, technology.vdd, 0.0);
+    out.model_near = measure_edge(w, technology.vdd, 0.0);
   }
 
   if (options.include_far_end) {
@@ -74,7 +80,7 @@ ExperimentResult run_experiment(const tech::Technology& technology,
     const wave::Pwl absolute(std::move(pts));
     tech::NetSimResult replay = tech::simulate_source_net(absolute, scenario.net, deck);
     const wave::Waveform& replay_far = replay.leaves.at(metrics.dominant_leaf);
-    out.model_far = measure(replay_far, technology.vdd, ref.input_time_50);
+    out.model_far = measure_edge(replay_far, technology.vdd, ref.input_time_50);
     if (options.keep_waveforms) out.model_far_wave = replay_far;
   }
 
@@ -88,7 +94,7 @@ ExperimentResult run_experiment(const tech::Technology& technology,
         model_driver_output(driver, scenario.input_slew, scenario.net, one);
     const wave::Waveform w = out.one_ramp.waveform.to_waveform(
         out.one_ramp.waveform.end_time() + deck.t_stop);
-    out.one_near = measure(w, technology.vdd, 0.0);
+    out.one_near = measure_edge(w, technology.vdd, 0.0);
   }
 
   if (options.keep_waveforms) {

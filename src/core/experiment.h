@@ -33,6 +33,10 @@ struct EdgeMetrics {
   double slew = 0.0;   // probe 10 % -> 90 % [s]
 };
 
+// The one edge-measurement convention (rising edge, delay vs t_reference,
+// raw 10-90 % slew) shared by the single-net and coupled harnesses.
+EdgeMetrics measure_edge(const wave::Waveform& w, double vdd, double t_reference);
+
 struct ExperimentOptions {
   tech::DeckOptions deck;          // simulator fidelity (t_stop auto-sized)
   DriverModelOptions model;        // paper flow controls
@@ -71,6 +75,13 @@ ExperimentResult run_experiment(const tech::Technology& technology,
 
 // Relative error helper used in the paper's tables: (model - ref) / ref.
 double pct_error(double model, double reference);
+
+// Settle-horizon heuristic shared by the single-net and coupled harnesses:
+// six time constants of the estimated driver resistance plus the dominant
+// path into the net's total charge, plus four times of flight.  extra_cap is
+// charge beyond the net's own (e.g. attached coupling capacitance).
+double settle_time(double driver_size, const net::NetMetrics& metrics,
+                   double extra_cap = 0.0);
 
 }  // namespace rlceff::core
 

@@ -76,8 +76,16 @@ private:
   util::LuFactors f_;
 };
 
-std::unique_ptr<LinearSolver> make_solver(std::size_t n, std::size_t bw) {
-  if (bw <= std::max<std::size_t>(8, n / 4)) return std::make_unique<BandedSolver>(n, bw);
+// The one banded-vs-dense selection predicate (uses_banded_solver reports it).
+bool bandwidth_is_narrow(std::size_t n, std::size_t bw) {
+  return bw <= std::max<std::size_t>(8, n / 4);
+}
+
+std::unique_ptr<LinearSolver> make_solver(std::size_t n, std::size_t bw,
+                                          bool force_dense) {
+  if (!force_dense && bandwidth_is_narrow(n, bw)) {
+    return std::make_unique<BandedSolver>(n, bw);
+  }
   return std::make_unique<DenseSolver>(n);
 }
 
@@ -106,7 +114,7 @@ public:
         m_(structure_.unknown_count()),
         linear_(netlist.mosfets().empty()),
         cached_(options.assembly == AssemblyMode::cached),
-        solver_(make_solver(m_, structure_.bandwidth())),
+        solver_(make_solver(m_, structure_.bandwidth(), options.force_dense)),
         rhs_(m_, 0.0),
         x_(m_, 0.0),
         x_new_(m_, 0.0) {
@@ -279,6 +287,19 @@ private:
       solver_->add(j, j, -req);
     }
 
+    // Mutual inductance couples the two branch equations: the companion term
+    // M * di_other/dt adds -req_m * i_other to each row, symmetrically.  In
+    // DC both inductors are shorts and the mutual contributes nothing.
+    if (!dc) {
+      for (const ckt::MutualInductor& m : nl_.mutual_inductors()) {
+        const double req = (trap ? 2.0 : 1.0) * m.mutual / h;
+        const std::size_t ja = structure_.inductor_index(m.la);
+        const std::size_t jb = structure_.inductor_index(m.lb);
+        solver_->add(ja, jb, -req);
+        solver_->add(jb, ja, -req);
+      }
+    }
+
     for (std::size_t k = 0; k < nl_.vsources().size(); ++k) {
       const ckt::VSource& v = nl_.vsources()[k];
       const std::size_t j = structure_.vsource_index(k);
@@ -316,6 +337,15 @@ private:
       const InductorState& s = state.inds[k];
       const double req = dc ? 0.0 : (trap ? 2.0 : 1.0) * nl_.inductors()[k].inductance / h;
       rhs_[ind_pos_[k]] = dc ? 0.0 : (trap ? -s.v - req * s.i : -req * s.i);
+    }
+
+    if (!dc) {
+      // History term of the mutual coupling, mirroring the matrix stamp.
+      for (const ckt::MutualInductor& m : nl_.mutual_inductors()) {
+        const double req = (trap ? 2.0 : 1.0) * m.mutual / h;
+        rhs_[ind_pos_[m.la]] -= req * state.inds[m.lb].i;
+        rhs_[ind_pos_[m.lb]] -= req * state.inds[m.la].i;
+      }
     }
 
     for (std::size_t k = 0; k < nl_.vsources().size(); ++k) {
@@ -408,6 +438,11 @@ void solve_dc(Engine& engine, const TransientOptions& options,
 }
 
 }  // namespace
+
+bool uses_banded_solver(const ckt::Netlist& netlist) {
+  const MnaStructure structure(netlist);
+  return bandwidth_is_narrow(structure.unknown_count(), structure.bandwidth());
+}
 
 TransientResult::TransientResult(std::vector<ckt::NodeId> probes, std::size_t reserve_steps)
     : probes_(std::move(probes)), waves_(probes_.size()) {

@@ -43,6 +43,9 @@ struct TransientOptions {
   int max_newton = 100;
   double newton_damping_v = 0.6;  // max voltage change accepted per iteration [V]
   AssemblyMode assembly = AssemblyMode::cached;
+  // Skip the banded solver even when the bandwidth is small (test/bench hook
+  // for exercising the dense LU fallback on narrow decks).
+  bool force_dense = false;
 };
 
 // Simulation output: one sampled waveform per probed node.
@@ -67,6 +70,10 @@ struct OperatingPoint {
   std::vector<double> inductor_current;
   std::vector<double> vsource_current;
 };
+
+// True when simulate() would factor this netlist with the banded solver
+// (rather than the dense LU fallback the wide-bandwidth coupled decks hit).
+bool uses_banded_solver(const ckt::Netlist& netlist);
 
 // Solves the DC operating point at t = 0 (sources at their t = 0 values,
 // capacitors open, inductors shorted).

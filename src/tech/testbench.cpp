@@ -17,21 +17,23 @@ sim::TransientOptions make_sim_options(const DeckOptions& options) {
   return s;
 }
 
-// Simulates a compiled net deck, probing the driving point, every leaf, and
-// every named probe (deduplicated — a named leaf is probed once).
-NetSimResult run_net_deck(ckt::Netlist& nl, ckt::NodeId out,
-                          const ckt::NetDeckNodes& nodes, double input_time_50,
-                          const DeckOptions& options) {
-  std::vector<ckt::NodeId> probes{out};
+// Probes for one compiled net: the driving point, every leaf, and every
+// named probe (deduplicated — a named leaf is probed once).
+void add_net_probes(std::vector<ckt::NodeId>& probes, ckt::NodeId out,
+                    const ckt::NetDeckNodes& nodes) {
   auto add_probe = [&probes](ckt::NodeId n) {
     if (std::find(probes.begin(), probes.end(), n) == probes.end()) {
       probes.push_back(n);
     }
   };
+  add_probe(out);
   for (ckt::NodeId leaf : nodes.leaves) add_probe(leaf);
   for (const auto& [name, node] : nodes.probes) add_probe(node);
+}
 
-  const sim::TransientResult res = sim::simulate(nl, make_sim_options(options), probes);
+NetSimResult collect_net_result(const sim::TransientResult& res, ckt::NodeId out,
+                                const ckt::NetDeckNodes& nodes,
+                                double input_time_50) {
   NetSimResult result;
   result.near_end = res.at(out);
   result.leaves.reserve(nodes.leaves.size());
@@ -42,6 +44,15 @@ NetSimResult run_net_deck(ckt::Netlist& nl, ckt::NodeId out,
   }
   result.input_time_50 = input_time_50;
   return result;
+}
+
+NetSimResult run_net_deck(ckt::Netlist& nl, ckt::NodeId out,
+                          const ckt::NetDeckNodes& nodes, double input_time_50,
+                          const DeckOptions& options) {
+  std::vector<ckt::NodeId> probes;
+  add_net_probes(probes, out, nodes);
+  const sim::TransientResult res = sim::simulate(nl, make_sim_options(options), probes);
+  return collect_net_result(res, out, nodes, input_time_50);
 }
 
 }  // namespace
@@ -99,6 +110,62 @@ NetSimResult simulate_source_net(const wave::Pwl& source, const net::Net& net,
   result.input_time_50 =
       result.near_end.first_crossing(0.5 * v_final, v_final > 0.0)
           .value_or(source.start_time());
+  return result;
+}
+
+CoupledSimResult simulate_coupled_group(const Technology& tech,
+                                        std::span<const NetDrive> drives,
+                                        const net::CoupledGroup& group,
+                                        const DeckOptions& options) {
+  ensure(!group.empty(), "simulate_coupled_group: empty group");
+  ensure(drives.size() == group.size(),
+         "simulate_coupled_group: need one drive per net");
+
+  ckt::Netlist nl;
+  std::vector<ckt::NodeId> outs(group.size());
+  std::vector<double> input_t50(group.size());
+  for (std::size_t k = 0; k < group.size(); ++k) {
+    const NetDrive& drive = drives[k];
+    const ckt::NodeId in = nl.node("in:" + group.label_at(k));
+    const ckt::NodeId out = nl.node("out:" + group.label_at(k));
+    wave::Pwl input;
+    switch (drive.edge) {
+      case DriveEdge::rise:
+        input = falling_input(tech, options.t_start, drive.input_slew);
+        break;
+      case DriveEdge::fall:
+        ensure(drive.input_slew > 0.0,
+               "simulate_coupled_group: slew must be positive");
+        input = wave::Pwl({{options.t_start, 0.0},
+                           {options.t_start + drive.input_slew, tech.vdd}});
+        break;
+      case DriveEdge::hold_low:
+        input = wave::Pwl({{0.0, tech.vdd}});
+        break;
+    }
+    nl.add_vsource(in, ckt::ground, std::move(input));
+    add_inverter(nl, tech, drive.cell, in, out);
+    outs[k] = out;
+    input_t50[k] = drive.edge == DriveEdge::hold_low
+                       ? options.t_start
+                       : options.t_start + 0.5 * drive.input_slew;
+  }
+
+  const ckt::CoupledDeckNodes decks =
+      ckt::append_coupled_group(nl, outs, group, options.segments);
+
+  std::vector<ckt::NodeId> probes;
+  for (std::size_t k = 0; k < group.size(); ++k) {
+    add_net_probes(probes, outs[k], decks.nets[k]);
+  }
+  const sim::TransientResult res = sim::simulate(nl, make_sim_options(options), probes);
+
+  CoupledSimResult result;
+  result.nets.reserve(group.size());
+  for (std::size_t k = 0; k < group.size(); ++k) {
+    result.nets.push_back(
+        collect_net_result(res, outs[k], decks.nets[k], input_t50[k]));
+  }
   return result;
 }
 

@@ -20,12 +20,14 @@
 #ifndef RLCEFF_TECH_TESTBENCH_H
 #define RLCEFF_TECH_TESTBENCH_H
 
+#include <span>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
 
 #include "moments/admittance.h"
+#include "net/coupled.h"
 #include "net/net.h"
 #include "sim/transient.h"
 #include "tech/inverter.h"
@@ -75,6 +77,35 @@ NetSimResult simulate_driver_net(const Technology& tech, const Inverter& cell,
 // source's own 50 % crossing so sink delays have a reference.
 NetSimResult simulate_source_net(const wave::Pwl& source, const net::Net& net,
                                  const DeckOptions& options);
+
+// ---- coupled decks -------------------------------------------------------
+
+// What one net's driver does during a coupled run.
+enum class DriveEdge {
+  rise,      // input falls, driver output rises (the single-net testbench edge)
+  fall,      // input rises, driver output falls from Vdd
+  hold_low,  // input held at Vdd, driver output stays low (quiet victim/aggressor)
+};
+
+struct NetDrive {
+  Inverter cell{75.0};
+  double input_slew = 100e-12;  // full-swing input ramp time [s]
+  DriveEdge edge = DriveEdge::rise;
+};
+
+struct CoupledSimResult {
+  std::vector<NetSimResult> nets;  // one per group net, in group order
+};
+
+// Deck 4: one inverter per net driving a compiled net::CoupledGroup — the
+// coupled "HSPICE" reference.  All switching inputs share the same t_start,
+// so aggressor and victim edges are aligned; each net's input_time_50 is its
+// own input's 50 % crossing (held inputs report t_start).  A group of one
+// net with DriveEdge::rise builds the exact deck simulate_driver_net builds.
+CoupledSimResult simulate_coupled_group(const Technology& tech,
+                                        std::span<const NetDrive> drives,
+                                        const net::CoupledGroup& group,
+                                        const DeckOptions& options);
 
 // ---- legacy adapters -----------------------------------------------------
 // Deprecated spellings of decks 2/3 for uniform lines (with

@@ -197,6 +197,76 @@ TEST_F(EngineFixture, OutcomeValueThrowsLabeledErrorOnFailure) {
   EXPECT_THROW((void)good.error(), Error);
 }
 
+TEST_F(EngineFixture, CoupledSingleNetGroupMatchesPlainRequest) {
+  // A group of one is the degenerate coupled case: the engine must compute
+  // exactly the single-net model for it.
+  const Request plain = inductive_request("plain");
+  Request coupled = inductive_request("coupled-single");
+  coupled.net = net::Net();
+  coupled.group = net::CoupledGroup::single(inductive_net());
+
+  const Response a = engine_->model(plain, fast_options()).value();
+  const Response b = engine_->model(coupled, fast_options()).value();
+  EXPECT_TRUE(b.has_coupling);
+  EXPECT_FALSE(a.has_coupling);
+  EXPECT_DOUBLE_EQ(a.model.t50, b.model.t50);
+  EXPECT_DOUBLE_EQ(a.model.ceff1.ceff, b.model.ceff1.ceff);
+  EXPECT_DOUBLE_EQ(a.model_near.delay, b.model_near.delay);
+  EXPECT_DOUBLE_EQ(a.model_near.slew, b.model_near.slew);
+  EXPECT_DOUBLE_EQ(0.0, b.delay_pushout_model);
+}
+
+TEST_F(EngineFixture, CoupledRequestsModelAndIsolatePerSlot) {
+  auto coupled_request = [](std::string label,
+                            core::AggressorSwitching switching) {
+    Request r;
+    r.label = std::move(label);
+    r.cell_size = 100.0;
+    r.input_slew = 100 * ps;
+    net::CoupledGroup group;
+    group.add_net(inductive_net(), "victim");
+    group.add_net(inductive_net(), "aggr");
+    group.couple_capacitance({0, 0}, {1, 0}, 150 * ff);
+    r.group = std::move(group);
+    r.victim = 0;
+    r.aggressors = {{1, 100.0, 100 * ps, switching}};
+    return r;
+  };
+
+  std::vector<Request> requests;
+  requests.push_back(coupled_request("worst", core::AggressorSwitching::opposite));
+  requests.push_back(coupled_request("bad-victim", core::AggressorSwitching::quiet));
+  requests[1].victim = 7;  // out of range: must fail alone
+  requests.push_back(coupled_request("best",
+                                     core::AggressorSwitching::same_direction));
+
+  const std::vector<Outcome<Response>> results =
+      engine_->run_batch(requests, fast_options());
+  ASSERT_EQ(3u, results.size());
+
+  ASSERT_TRUE(results[0].ok());
+  ASSERT_FALSE(results[1].ok());
+  EXPECT_EQ(ErrorCode::invalid_request, results[1].error().code);
+  EXPECT_NE(std::string::npos, results[1].error().message.find("victim index"))
+      << results[1].error().message;
+  ASSERT_TRUE(results[2].ok());
+
+  // 2x Miller slows the victim, 0x speeds it up; the model must order them.
+  const Response& worst = results[0].value();
+  const Response& best = results[2].value();
+  EXPECT_TRUE(worst.has_coupling);
+  EXPECT_GT(worst.delay_pushout_model, 0.0);
+  EXPECT_LT(best.delay_pushout_model, 0.0);
+  EXPECT_GT(worst.model_near.delay, best.model_near.delay);
+
+  // Aggressors without a coupled group are rejected up front.
+  Request stray = inductive_request("stray-aggressor");
+  stray.aggressors = {{0, 75.0, 100 * ps, core::AggressorSwitching::quiet}};
+  const Outcome<Response> rejected = engine_->model(stray, fast_options());
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(ErrorCode::invalid_request, rejected.error().code);
+}
+
 TEST(EngineCache, CharacterizationFailureIsReportedPerSlot) {
   // An unusable grid makes characterization itself throw.  run_batch must
   // not propagate that: every slot needing the size carries the error (and

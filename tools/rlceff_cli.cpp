@@ -1,15 +1,32 @@
 // rlceff_cli — the service-shaped entry point: read a scenario deck, run it
 // through api::Engine::run_batch, print per-net delay/slew.
 //
-// Deck format (plain text, '#' comments, one net per line):
+// Deck format (plain text, '#' comments):
 //
 //   # label  driver_size  slew_ps  length_mm  width_um  cload_ff
 //   net0     100          100      5.0        1.6       20
 //
+// plus two optional stanza kinds for coupled nets:
+//
+//   couple <netA> <netB> <cc_ff> [k]     distributed coupling cap (and
+//                                        optional inductive coefficient)
+//                                        between two previously listed nets
+//   aggressor <net> rise|fall|quiet      mark a coupled net as an aggressor
+//                                        (rise switches with the victims,
+//                                        fall against them, quiet holds)
+//
+// Nets connected by `couple` lines form one coupled group; every member not
+// marked as an aggressor is a victim and gets its own result slot (modeled
+// via Miller-factor decoupling; with --reference also simulated as the full
+// coupled system, reporting delay pushout and quiet-victim peak noise).
+// Aggressors only shape their victims' slots and are not reported.
+//
 // Geometry is turned into RLC parasitics by the built-in wire model (the
 // same fit the paper benches use).  Failed nets are reported with their
-// structured error code and do not abort the rest of the batch; the exit
-// code is 0 when every net succeeded, 2 when any slot failed.
+// structured error code and do not abort the rest of the batch.
+//
+// Exit codes: 0 all nets succeeded, 1 usage/deck errors, 2 duplicate net
+// labels in the deck or failed result slots.
 //
 // Usage:
 //   rlceff_cli [options] <deck-file>
@@ -19,11 +36,15 @@
 //     --grid small       use a small characterization grid (CI/smoke runs)
 //     --reference        also run the transient reference and print errors
 //     --threads <n>      sweep pool width (default: hardware concurrency)
+//     --json             machine-readable output (per-net delay/slew/noise
+//                        and error slots) instead of the text table
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
 #include <fstream>
+#include <functional>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -42,13 +63,14 @@ struct CliOptions {
   std::string library_path;  // empty = no persistence
   bool small_grid = false;
   bool reference = false;
+  bool json = false;
   unsigned n_threads = 0;
 };
 
 void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--library <path>] [--grid small|standard] "
-               "[--reference] [--threads <n>] <deck-file>\n",
+               "[--reference] [--threads <n>] [--json] <deck-file>\n",
                argv0);
 }
 
@@ -71,6 +93,8 @@ bool parse_args(int argc, char** argv, CliOptions& opt) {
       }
     } else if (arg == "--reference") {
       opt.reference = true;
+    } else if (arg == "--json") {
+      opt.json = true;
     } else if (arg == "--threads") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -100,11 +124,25 @@ struct DeckNet {
   double cload_ff = 0.0;
 };
 
-bool read_deck(const std::string& path, std::vector<DeckNet>& nets) {
+struct DeckCouple {
+  std::string a;
+  std::string b;
+  double cc_ff = 0.0;
+  double k = 0.0;  // optional inductive coupling coefficient
+};
+
+struct Deck {
+  std::vector<DeckNet> nets;
+  std::vector<DeckCouple> couples;
+  std::map<std::string, std::string> aggressors;  // label -> rise|fall|quiet
+};
+
+// Returns 0 on success, 1 on malformed decks, 2 on duplicate net labels.
+int read_deck(const std::string& path, Deck& deck) {
   std::ifstream in(path);
   if (!in.good()) {
     std::fprintf(stderr, "cannot open deck file: %s\n", path.c_str());
-    return false;
+    return 1;
   }
   std::string line;
   std::size_t line_no = 0;
@@ -113,18 +151,178 @@ bool read_deck(const std::string& path, std::vector<DeckNet>& nets) {
     const std::size_t hash = line.find('#');
     if (hash != std::string::npos) line.erase(hash);
     std::istringstream fields(line);
+    std::string head;
+    if (!(fields >> head)) continue;  // blank/comment-only line
+
+    if (head == "couple") {
+      DeckCouple couple;
+      if (!(fields >> couple.a >> couple.b >> couple.cc_ff)) {
+        std::fprintf(stderr, "%s:%zu: expected 'couple netA netB cc_ff [k]'\n",
+                     path.c_str(), line_no);
+        return 1;
+      }
+      // The coefficient is optional, but a malformed token must not be
+      // silently dropped as "absent".
+      if (std::string k_token; fields >> k_token) {
+        char* end = nullptr;
+        couple.k = std::strtod(k_token.c_str(), &end);
+        std::string trailing;
+        if (end == k_token.c_str() || *end != '\0' || (fields >> trailing)) {
+          std::fprintf(stderr, "%s:%zu: malformed coupling coefficient '%s'\n",
+                       path.c_str(), line_no, k_token.c_str());
+          return 1;
+        }
+      }
+      deck.couples.push_back(std::move(couple));
+      continue;
+    }
+    if (head == "aggressor") {
+      std::string label, mode;
+      if (!(fields >> label >> mode) ||
+          (mode != "rise" && mode != "fall" && mode != "quiet")) {
+        std::fprintf(stderr, "%s:%zu: expected 'aggressor net rise|fall|quiet'\n",
+                     path.c_str(), line_no);
+        return 1;
+      }
+      if (!deck.aggressors.emplace(label, mode).second) {
+        std::fprintf(stderr,
+                     "%s:%zu: net '%s' already has an aggressor directive\n",
+                     path.c_str(), line_no, label.c_str());
+        return 1;
+      }
+      continue;
+    }
+
     DeckNet net;
-    if (!(fields >> net.label)) continue;  // blank/comment-only line
+    net.label = std::move(head);
     if (!(fields >> net.driver_size >> net.slew_ps >> net.length_mm >>
           net.width_um >> net.cload_ff)) {
       std::fprintf(stderr, "%s:%zu: expected 'label size slew_ps length_mm "
                            "width_um cload_ff'\n",
                    path.c_str(), line_no);
-      return false;
+      return 1;
     }
-    nets.push_back(std::move(net));
+    for (const DeckNet& seen : deck.nets) {
+      if (seen.label == net.label) {
+        std::fprintf(stderr,
+                     "%s:%zu: duplicate net label '%s' (labels identify result "
+                     "slots and must be unique)\n",
+                     path.c_str(), line_no, net.label.c_str());
+        return 2;
+      }
+    }
+    deck.nets.push_back(std::move(net));
   }
-  return true;
+  return 0;
+}
+
+std::size_t net_index(const Deck& deck, const std::string& label) {
+  for (std::size_t k = 0; k < deck.nets.size(); ++k) {
+    if (deck.nets[k].label == label) return k;
+  }
+  return deck.nets.size();
+}
+
+// Connected components of the `couple` graph: component_of[i] is the group
+// id of deck net i, or npos for plain (uncoupled) nets.
+std::vector<std::size_t> coupled_components(const Deck& deck) {
+  constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> parent(deck.nets.size());
+  for (std::size_t k = 0; k < parent.size(); ++k) parent[k] = k;
+  std::function<std::size_t(std::size_t)> find = [&](std::size_t x) {
+    while (parent[x] != x) x = parent[x] = parent[parent[x]];
+    return x;
+  };
+  std::vector<bool> coupled(deck.nets.size(), false);
+  for (const DeckCouple& c : deck.couples) {
+    const std::size_t a = net_index(deck, c.a);
+    const std::size_t b = net_index(deck, c.b);
+    parent[find(a)] = find(b);
+    coupled[a] = coupled[b] = true;
+  }
+  std::vector<std::size_t> component(deck.nets.size(), npos);
+  for (std::size_t k = 0; k < deck.nets.size(); ++k) {
+    if (coupled[k]) component[k] = find(k);
+  }
+  return component;
+}
+
+core::AggressorSwitching switching_from(const std::string& mode) {
+  if (mode == "rise") return core::AggressorSwitching::same_direction;
+  if (mode == "fall") return core::AggressorSwitching::opposite;
+  return core::AggressorSwitching::quiet;
+}
+
+// Unlike the bench-side helper (identifier-like inputs only), CLI strings
+// come from user decks and exception messages, so control bytes must become
+// \u escapes for the document to stay valid JSON.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(static_cast<char>(c));
+    } else if (c < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", c);
+      out += buf;
+    } else {
+      out.push_back(static_cast<char>(c));
+    }
+  }
+  return out;
+}
+
+const char* kind_name(core::ModelKind kind) {
+  switch (kind) {
+    case core::ModelKind::one_ramp:
+      return "one-ramp";
+    case core::ModelKind::two_ramp:
+      return "two-ramp";
+    case core::ModelKind::three_ramp:
+      break;
+  }
+  return "three-ramp";
+}
+
+void print_json(const CliOptions& cli, const std::vector<DeckNet>& slots,
+                const std::vector<std::string>& build_errors,
+                const std::vector<api::Outcome<api::Response>>& results,
+                std::size_t failed) {
+  std::printf("{\n  \"deck\": \"%s\",\n  \"reference\": %s,\n  \"nets\": [",
+              json_escape(cli.deck_path).c_str(), cli.reference ? "true" : "false");
+  for (std::size_t k = 0; k < results.size(); ++k) {
+    std::printf("%s\n    {\"label\": \"%s\", ", k == 0 ? "" : ",",
+                json_escape(slots[k].label).c_str());
+    if (!results[k].ok()) {
+      const api::ErrorInfo& e = results[k].error();
+      const std::string& message =
+          build_errors[k].empty() ? e.message : build_errors[k];
+      std::printf("\"ok\": false, \"error\": {\"code\": \"%s\", \"message\": \"%s\"}}",
+                  api::to_string(e.code), json_escape(message).c_str());
+      continue;
+    }
+    const api::Response& r = results[k].value();
+    std::printf("\"ok\": true, \"model\": \"%s\", \"delay_ps\": %.4f, "
+                "\"slew_ps\": %.4f",
+                kind_name(r.model.kind), r.model_near.delay / ps,
+                r.model_near.slew / ps);
+    if (r.has_coupling) {
+      std::printf(", \"coupled\": true, \"delay_pushout_model_ps\": %.4f",
+                  r.delay_pushout_model / ps);
+    }
+    if (r.has_reference) {
+      std::printf(", \"ref_delay_ps\": %.4f, \"ref_slew_ps\": %.4f",
+                  r.ref_near.delay / ps, r.ref_near.slew / ps);
+      if (r.has_coupling) {
+        std::printf(", \"delay_pushout_ps\": %.4f, \"peak_noise_mv\": %.4f",
+                    r.delay_pushout / ps, r.peak_noise / 1e-3);
+      }
+    }
+    std::printf("}");
+  }
+  std::printf("\n  ],\n  \"failed\": %zu\n}\n", failed);
 }
 
 }  // namespace
@@ -136,19 +334,65 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  std::vector<DeckNet> deck;
-  if (!read_deck(cli.deck_path, deck)) return 1;
-  if (deck.empty()) {
+  Deck deck;
+  if (const int status = read_deck(cli.deck_path, deck); status != 0) return status;
+  if (deck.nets.empty()) {
     std::fprintf(stderr, "deck %s holds no nets\n", cli.deck_path.c_str());
     return 1;
   }
+  for (const DeckCouple& c : deck.couples) {
+    for (const std::string& label : {c.a, c.b}) {
+      if (net_index(deck, label) == deck.nets.size()) {
+        std::fprintf(stderr, "deck %s: couple references unknown net '%s'\n",
+                     cli.deck_path.c_str(), label.c_str());
+        return 1;
+      }
+    }
+  }
+  const std::vector<std::size_t> component = coupled_components(deck);
+  for (const auto& [label, mode] : deck.aggressors) {
+    const std::size_t index = net_index(deck, label);
+    if (index == deck.nets.size()) {
+      std::fprintf(stderr, "deck %s: aggressor references unknown net '%s'\n",
+                   cli.deck_path.c_str(), label.c_str());
+      return 1;
+    }
+    if (component[index] == static_cast<std::size_t>(-1)) {
+      std::fprintf(stderr, "deck %s: aggressor '%s' is not coupled to any net\n",
+                   cli.deck_path.c_str(), label.c_str());
+      return 1;
+    }
+  }
+  // Every coupled group needs at least one victim, or its nets would be
+  // silently dropped from the results.
+  for (std::size_t k = 0; k < deck.nets.size(); ++k) {
+    if (component[k] == static_cast<std::size_t>(-1)) continue;
+    bool has_victim = false;
+    for (std::size_t m = 0; m < deck.nets.size(); ++m) {
+      if (component[m] == component[k] &&
+          deck.aggressors.count(deck.nets[m].label) == 0) {
+        has_victim = true;
+        break;
+      }
+    }
+    if (!has_victim) {
+      std::fprintf(stderr,
+                   "deck %s: every net coupled to '%s' is marked aggressor — the "
+                   "group has no victim to report\n",
+                   cli.deck_path.c_str(), deck.nets[k].label.c_str());
+      return 1;
+    }
+  }
+
+  // In JSON mode stdout carries only the document.
+  FILE* info = cli.json ? stderr : stdout;
 
   api::Engine engine{tech::Technology::cmos180()};
   if (!cli.library_path.empty()) {
     try {
       if (engine.load_library(cli.library_path)) {
-        std::printf("# loaded %zu cell(s) from %s\n", engine.library().size(),
-                    cli.library_path.c_str());
+        std::fprintf(info, "# loaded %zu cell(s) from %s\n", engine.library().size(),
+                     cli.library_path.c_str());
       }
     } catch (const Error& e) {
       std::fprintf(stderr, "# ignoring unreadable library %s: %s\n",
@@ -164,67 +408,129 @@ int main(int argc, char** argv) {
   }
 
   const tech::WireModel wires;
-  std::vector<api::Request> requests;
+  auto build_net = [&](const DeckNet& n) {
+    return tech::line_net(wires.extract({n.length_mm * mm, n.width_um * um}),
+                          n.cload_ff * ff);
+  };
+
+  // One result slot per plain net and per coupled victim, in deck order.
   // Invalid geometry (e.g. a zero-length net) must not abort the batch: the
-  // construction error (which names the offending element) is kept per net
+  // construction error (which names the offending element) is kept per slot
   // and reported in place of the engine's generic empty-net rejection.
-  std::vector<std::string> build_errors(deck.size());
-  for (std::size_t k = 0; k < deck.size(); ++k) {
-    const DeckNet& net = deck[k];
+  std::vector<DeckNet> slots;
+  std::vector<api::Request> requests;
+  std::vector<std::string> build_errors;
+  for (std::size_t k = 0; k < deck.nets.size(); ++k) {
+    const DeckNet& net = deck.nets[k];
+    if (deck.aggressors.count(net.label) != 0) continue;  // shapes victims only
     api::Request r;
     r.label = net.label;
     r.cell_size = net.driver_size;
     r.input_slew = net.slew_ps * ps;
-    try {
-      r.net = tech::line_net(wires.extract({net.length_mm * mm, net.width_um * um}),
-                             net.cload_ff * ff);
-    } catch (const Error& e) {
-      build_errors[k] = e.what();
-    }
     r.reference = cli.reference;
     r.far_end = false;
+    std::string build_error;
+    try {
+      if (component[k] == static_cast<std::size_t>(-1)) {
+        r.net = build_net(net);
+      } else {
+        // Assemble this victim's coupled group: every member of its
+        // component in deck order, with the victim's own index tracked.
+        net::CoupledGroup group;
+        std::vector<std::size_t> members;
+        for (std::size_t m = 0; m < deck.nets.size(); ++m) {
+          if (component[m] != component[k]) continue;
+          group.add_net(build_net(deck.nets[m]), deck.nets[m].label);
+          members.push_back(m);
+        }
+        for (const DeckCouple& c : deck.couples) {
+          const std::size_t a = net_index(deck, c.a);
+          if (component[a] != component[k]) continue;
+          const net::SectionRef ra{group.index_of(c.a), 0};
+          const net::SectionRef rb{group.index_of(c.b), 0};
+          group.couple_capacitance(ra, rb, c.cc_ff * ff);
+          if (c.k != 0.0) group.couple_inductance(ra, rb, c.k);
+        }
+        for (std::size_t m : members) {
+          const DeckNet& other = deck.nets[m];
+          const auto mode = deck.aggressors.find(other.label);
+          if (m == k || mode == deck.aggressors.end()) continue;
+          r.aggressors.push_back({group.index_of(other.label), other.driver_size,
+                                  other.slew_ps * ps, switching_from(mode->second)});
+        }
+        r.victim = group.index_of(net.label);
+        r.group = std::move(group);
+      }
+    } catch (const Error& e) {
+      build_error = e.what();
+    }
+    slots.push_back(net);
     requests.push_back(std::move(r));
+    build_errors.push_back(std::move(build_error));
+  }
+
+  if (requests.empty()) {
+    std::fprintf(stderr, "deck %s defines no result slots (every net is an "
+                         "aggressor)\n",
+                 cli.deck_path.c_str());
+    return 1;
   }
 
   const std::vector<api::Outcome<api::Response>> results =
       engine.run_batch(requests, options);
 
-  if (cli.reference) {
-    std::printf("%-12s %-9s %11s %11s %11s %11s\n", "net", "model", "delay [ps]",
-                "slew [ps]", "ref d [ps]", "ref s [ps]");
-  } else {
-    std::printf("%-12s %-9s %11s %11s\n", "net", "model", "delay [ps]", "slew [ps]");
-  }
   std::size_t failed = 0;
-  for (std::size_t k = 0; k < results.size(); ++k) {
-    if (!results[k].ok()) {
-      ++failed;
-      const api::ErrorInfo& e = results[k].error();
-      const std::string& message =
-          build_errors[k].empty() ? e.message : build_errors[k];
-      std::printf("%-12s ERROR [%s]: %s\n", deck[k].label.c_str(),
-                  api::to_string(e.code), message.c_str());
-      continue;
-    }
-    const api::Response& r = results[k].value();
-    const char* kind = r.model.kind == core::ModelKind::one_ramp ? "one-ramp"
-                       : r.model.kind == core::ModelKind::two_ramp ? "two-ramp"
-                                                                   : "three-ramp";
-    if (cli.reference) {
-      std::printf("%-12s %-9s %11.2f %11.2f %11.2f %11.2f\n", r.label.c_str(), kind,
-                  r.model_near.delay / ps, r.model_near.slew / ps,
-                  r.ref_near.delay / ps, r.ref_near.slew / ps);
-    } else {
-      std::printf("%-12s %-9s %11.2f %11.2f\n", r.label.c_str(), kind,
-                  r.model_near.delay / ps, r.model_near.slew / ps);
-    }
+  for (const api::Outcome<api::Response>& outcome : results) {
+    if (!outcome.ok()) ++failed;
   }
-  std::printf("# %zu net(s), %zu failed\n", results.size(), failed);
+
+  if (cli.json) {
+    print_json(cli, slots, build_errors, results, failed);
+  } else {
+    if (cli.reference) {
+      std::printf("%-12s %-9s %11s %11s %11s %11s\n", "net", "model", "delay [ps]",
+                  "slew [ps]", "ref d [ps]", "ref s [ps]");
+    } else {
+      std::printf("%-12s %-9s %11s %11s\n", "net", "model", "delay [ps]",
+                  "slew [ps]");
+    }
+    for (std::size_t k = 0; k < results.size(); ++k) {
+      if (!results[k].ok()) {
+        const api::ErrorInfo& e = results[k].error();
+        const std::string& message =
+            build_errors[k].empty() ? e.message : build_errors[k];
+        std::printf("%-12s ERROR [%s]: %s\n", slots[k].label.c_str(),
+                    api::to_string(e.code), message.c_str());
+        continue;
+      }
+      const api::Response& r = results[k].value();
+      if (cli.reference) {
+        std::printf("%-12s %-9s %11.2f %11.2f %11.2f %11.2f\n", r.label.c_str(),
+                    kind_name(r.model.kind), r.model_near.delay / ps,
+                    r.model_near.slew / ps, r.ref_near.delay / ps,
+                    r.ref_near.slew / ps);
+      } else {
+        std::printf("%-12s %-9s %11.2f %11.2f\n", r.label.c_str(),
+                    kind_name(r.model.kind), r.model_near.delay / ps,
+                    r.model_near.slew / ps);
+      }
+      if (r.has_coupling) {
+        std::printf("#   %s: coupled victim, model pushout %+.2f ps",
+                    r.label.c_str(), r.delay_pushout_model / ps);
+        if (r.has_reference) {
+          std::printf(", sim pushout %+.2f ps, peak noise %.1f mV",
+                      r.delay_pushout / ps, r.peak_noise / 1e-3);
+        }
+        std::printf("\n");
+      }
+    }
+    std::printf("# %zu net(s), %zu failed\n", results.size(), failed);
+  }
 
   if (!cli.library_path.empty()) {
     engine.save_library(cli.library_path);
-    std::printf("# saved %zu cell(s) to %s\n", engine.library().size(),
-                cli.library_path.c_str());
+    std::fprintf(info, "# saved %zu cell(s) to %s\n", engine.library().size(),
+                 cli.library_path.c_str());
   }
   return failed == 0 ? 0 : 2;
 }
