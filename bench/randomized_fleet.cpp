@@ -1,0 +1,79 @@
+// Randomized-fleet throughput: the property harness's generator feeding the
+// production batch path.
+//
+// Where BENCH_perf.json's engine_batch_nets_per_s measures the Fig-7 grid
+// (one topology, swept parameters), this bench measures what a timing
+// service actually sees: a mixed batch of generated uniform lines, tapered
+// routes, branched trees, and coupled groups (testkit::random_request) run
+// model-only through api::Engine::run_batch.  Slots that fail to converge
+// are counted, not hidden — the number of clean slots is part of the
+// trajectory.
+//
+// Usage: randomized_fleet [--nets N] [--seed S]   (defaults: 256 nets,
+// the property harness's base seed).  Writes BENCH_random_fleet.json.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "bench_common.h"
+#include "testkit/generate.h"
+#include "testkit/rng.h"
+
+using namespace rlceff;
+using namespace rlceff::units;
+
+int main(int argc, char** argv) {
+  std::size_t n_nets = 256;
+  std::uint64_t seed = 0x20030603ull;
+  for (int k = 1; k < argc; ++k) {
+    if (std::strcmp(argv[k], "--nets") == 0 && k + 1 < argc) {
+      n_nets = static_cast<std::size_t>(std::atoll(argv[++k]));
+    } else if (std::strcmp(argv[k], "--seed") == 0 && k + 1 < argc) {
+      seed = std::strtoull(argv[++k], nullptr, 0);
+    } else {
+      std::fprintf(stderr, "usage: %s [--nets N] [--seed S]\n", argv[0]);
+      return 1;
+    }
+  }
+
+  // The generator draws cell sizes from a fixed six-size menu; warming them
+  // up front keeps the timed region pure model evaluation.
+  bench::warm_library({25.0, 50.0, 75.0, 100.0, 150.0, 200.0});
+
+  std::vector<api::Request> requests;
+  requests.reserve(n_nets);
+  for (std::size_t k = 0; k < n_nets; ++k) {
+    testkit::Rng rng(testkit::mix_seed(seed, 0xF1EE7, k));
+    api::Request request = testkit::random_request(rng);
+    request.label += "-" + std::to_string(k);
+    requests.push_back(std::move(request));
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::vector<api::Outcome<api::Response>> results =
+      bench::engine().run_batch(requests);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
+  std::size_t ok = 0;
+  std::size_t coupled = 0;
+  for (std::size_t k = 0; k < results.size(); ++k) {
+    if (results[k].ok()) ++ok;
+    if (requests[k].coupled()) ++coupled;
+  }
+  const double nets_per_s = static_cast<double>(n_nets) / elapsed;
+
+  std::printf("randomized fleet: %zu nets (%zu coupled), %zu ok, %.2f ms total, "
+              "%.0f nets/s (model-only, warm cache)\n",
+              n_nets, coupled, ok, 1e3 * elapsed, nets_per_s);
+
+  bench::write_bench_json(
+      "BENCH_random_fleet.json", "randomized_fleet",
+      {{"fleet_nets", static_cast<double>(n_nets), "nets"},
+       {"fleet_coupled_nets", static_cast<double>(coupled), "nets"},
+       {"fleet_ok_fraction", static_cast<double>(ok) / static_cast<double>(n_nets), ""},
+       {"fleet_nets_per_s", nets_per_s, "nets/s"}});
+  return 0;
+}

@@ -47,10 +47,22 @@ CoupledGroup CoupledGroup::single(Net net, std::string label) {
 
 std::size_t CoupledGroup::add_net(Net net, std::string label) {
   ensure(!net.empty(), "net::CoupledGroup: cannot add an empty net");
-  if (label.empty()) label = "net" + std::to_string(nets_.size());
-  for (const std::string& existing : labels_) {
-    ensure(existing != label,
-           "net::CoupledGroup: duplicate net label '" + label + "'");
+  auto taken = [&](const std::string& candidate) {
+    for (const std::string& existing : labels_) {
+      if (existing == candidate) return true;
+    }
+    return false;
+  };
+  if (label.empty()) {
+    // Auto-labels must not collide with names the caller already claimed
+    // (e.g. an explicit "net1" followed by an unlabeled net): advance until
+    // free instead of raising a duplicate error the caller never wrote.
+    std::size_t k = nets_.size();
+    do {
+      label = "net" + std::to_string(k++);
+    } while (taken(label));
+  } else {
+    ensure(!taken(label), "net::CoupledGroup: duplicate net label '" + label + "'");
   }
   nets_.push_back(std::move(net));
   labels_.push_back(std::move(label));

@@ -266,8 +266,12 @@ private:
     }
 
     if (!dc) {
+      // Property-harness fault injection: skew the cached-path capacitor
+      // stamps so the cached-vs-naive oracle must fire (see
+      // TransientOptions).  skew == 0 leaves the stamps bit-identical.
+      const double skew = cached_ ? 1.0 + opt_.debug_cached_stamp_skew : 1.0;
       for (const ckt::Capacitor& c : nl_.capacitors()) {
-        stamp_conductance(c.a, c.b, (trap ? 2.0 : 1.0) * c.capacitance / h);
+        stamp_conductance(c.a, c.b, skew * (trap ? 2.0 : 1.0) * c.capacitance / h);
       }
     }
 

@@ -46,6 +46,12 @@ struct TransientOptions {
   // Skip the banded solver even when the bandwidth is small (test/bench hook
   // for exercising the dense LU fallback on narrow decks).
   bool force_dense = false;
+  // Fault-injection hook for the property harness's self-test: scales every
+  // capacitor's companion conductance by (1 + skew) in the *cached*
+  // assembly path only, so any nonzero value breaks the cached==naive
+  // contract and must be caught by the equivalence oracles.  Never set this
+  // outside tests.
+  double debug_cached_stamp_skew = 0.0;
 };
 
 // Simulation output: one sampled waveform per probed node.

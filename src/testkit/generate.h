@@ -1,0 +1,78 @@
+// Randomized-instance generators for the property harness.
+//
+// Every generated instance is described by a *recipe*: the seed plus the
+// explicit size knobs of the topology (section counts, tree shape, group
+// width).  instantiate() is a pure function of the recipe, so a failure
+// reduces to one line of text, and shrinking is recipe surgery: bisect the
+// size knobs (shrink_candidates), re-instantiate with the same seed, and
+// keep the smallest recipe that still fails.
+//
+// Parameter ranges follow the paper's experimental envelope (and the wire
+// model's fitted plane): lengths 1-10 mm, widths 0.8-3.2 um, receiver loads
+// 5-500 fF, drivers 25-200X, input slews 25-300 ps.  Coupling strengths stay
+// within the regime the Miller-decoupled model is specified for (coupling
+// cap up to ~40 % of the victim's ground capacitance, k up to 0.5).
+#ifndef RLCEFF_TESTKIT_GENERATE_H
+#define RLCEFF_TESTKIT_GENERATE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "api/request.h"
+#include "net/coupled.h"
+#include "net/net.h"
+#include "testkit/rng.h"
+
+namespace rlceff::testkit {
+
+enum class Topology {
+  uniform_line,   // one distributed section + receiver load
+  multi_section,  // width-tapered route of `sections` distributed spans
+  tree,           // branched net, distributed or lumped sections
+};
+
+struct NetRecipe {
+  std::uint64_t seed = 0;
+  Topology topology = Topology::uniform_line;
+  std::size_t sections = 1;  // route length (multi_section)
+  std::size_t depth = 0;     // branching levels below the trunk (tree)
+  std::size_t fanout = 2;    // children per junction (tree)
+  bool lumped = false;       // tree sections are lumped RLC (tree flow)
+};
+
+struct GroupRecipe {
+  std::uint64_t seed = 0;
+  std::vector<NetRecipe> members;  // >= 2 nets
+  std::size_t coupling_caps = 1;
+  std::size_t mutuals = 0;
+};
+
+// Draws a recipe whose knobs cover the topology space (sizes kept small
+// enough that the sim-backed oracles stay fast).
+NetRecipe random_net_recipe(Rng& rng);
+GroupRecipe random_group_recipe(Rng& rng);
+
+// Builds the instance a recipe describes.  Deterministic: same recipe (seed
+// included) -> bitwise-identical net on every platform and thread count.
+net::Net instantiate(const NetRecipe& recipe);
+net::CoupledGroup instantiate(const GroupRecipe& recipe);
+
+// Wraps a random net (or coupled group, with probability group_fraction) in
+// a model-only api::Request.  The label encodes the seed, so a failed batch
+// slot names its own repro.
+api::Request random_request(Rng& rng, double group_fraction = 0.25);
+
+// Smaller variants of a failing recipe, most aggressive first: bisected
+// section counts, shallower trees, narrower groups.  Empty when the recipe
+// is already minimal.
+std::vector<NetRecipe> shrink_candidates(const NetRecipe& recipe);
+std::vector<GroupRecipe> shrink_candidates(const GroupRecipe& recipe);
+
+// One-line recipe descriptions for failure reports.
+std::string describe(const NetRecipe& recipe);
+std::string describe(const GroupRecipe& recipe);
+
+}  // namespace rlceff::testkit
+
+#endif  // RLCEFF_TESTKIT_GENERATE_H

@@ -1,0 +1,692 @@
+#include "testkit/oracles.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <utility>
+
+#include "circuit/builders.h"
+#include "core/coupled_experiment.h"
+#include "moments/admittance.h"
+#include "sim/transient.h"
+#include "tech/testbench.h"
+#include "util/units.h"
+
+namespace rlceff::testkit {
+
+namespace {
+
+using namespace rlceff::units;
+
+constexpr double kCells[] = {25.0, 50.0, 75.0, 100.0, 150.0, 200.0};
+
+std::string fmt(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+void expect(bool cond, const std::string& message) {
+  if (!cond) throw Error("oracle: " + message);
+}
+
+void expect_close(double a, double b, double rel_tol, const std::string& what) {
+  const double scale = std::max({std::abs(a), std::abs(b), 1e-300});
+  expect(std::abs(a - b) <= rel_tol * scale,
+         what + ": " + fmt(a) + " vs " + fmt(b) + " (rel err " +
+             fmt(std::abs(a - b) / scale) + " > " + fmt(rel_tol) + ")");
+}
+
+void expect_waveforms_equal(const wave::Waveform& a, const wave::Waveform& b,
+                            double tol, const std::string& what) {
+  expect(a.size() == b.size(), what + ": sample counts differ (" +
+                                   std::to_string(a.size()) + " vs " +
+                                   std::to_string(b.size()) + ")");
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    expect(a.time(k) == b.time(k), what + ": sample times diverge at index " +
+                                       std::to_string(k));
+    const double dv = std::abs(a.value(k) - b.value(k));
+    expect(dv <= tol, what + ": values diverge at t = " + fmt(a.time(k)) + " (|dv| = " +
+                          fmt(dv) + " > " + fmt(tol) + ")");
+  }
+}
+
+// Equivalence oracles do not need settled edges — any window exercises the
+// engine — so the horizon stays short and independent of the (possibly slow)
+// RC settling of the instance.
+double short_horizon(const net::Net& net, double input_slew) {
+  const net::NetMetrics m = net.metrics();
+  return 20 * ps + input_slew + 6.0 * m.time_of_flight + 0.35 * ns;
+}
+
+tech::DeckOptions equivalence_deck(const OracleOptions& options, double t_stop) {
+  tech::DeckOptions deck;
+  deck.segments = options.segments;
+  deck.dt = options.dt;
+  deck.t_stop = t_stop;
+  return deck;
+}
+
+}  // namespace
+
+void check_net_invariants(const net::Net& net, const OracleOptions& options) {
+  const double c_total = net.total_capacitance();
+  expect(std::isfinite(c_total) && c_total > 0.0, "net has no capacitance");
+
+  const std::size_t leaves = net.leaf_count();
+  expect(leaves >= 1, "net has no leaves");
+
+  const net::NetMetrics m = net.metrics();
+  expect(m.time_of_flight > 0.0, "metrics: non-positive time of flight");
+  expect(m.z0 > 0.0, "metrics: non-positive Z0");
+  expect(m.path_resistance >= 0.0, "metrics: negative path resistance");
+  expect(m.dominant_leaf < leaves, "metrics: dominant leaf index " +
+                                       std::to_string(m.dominant_leaf) +
+                                       " out of range (net has " +
+                                       std::to_string(leaves) + " leaves)");
+  expect_close(m.total_capacitance(), c_total, 1e-12,
+               "metrics total capacitance vs branch sum");
+
+  // m1 of the driving-point admittance equals the total capacitance for any
+  // net with no DC path to ground — the moment layer's conservation law.
+  const util::Series y = moments::net_admittance(net);
+  expect(y.size() >= 2, "net_admittance: truncated below order 2");
+  expect(std::abs(y[0]) <= 1e-9 * c_total, "net_admittance: nonzero DC admittance");
+  expect_close(y[1], c_total, 1e-9, "net_admittance m1 vs total capacitance");
+
+  // The compiled deck must carry exactly the net's capacitance and expose
+  // one far node per leaf.
+  ckt::Netlist nl;
+  const ckt::NodeId out = nl.node("out");
+  const ckt::NetDeckNodes nodes = ckt::append_net(nl, out, net, options.segments);
+  expect(nodes.leaves.size() == leaves,
+         "compiled deck leaf count " + std::to_string(nodes.leaves.size()) +
+             " vs net leaf count " + std::to_string(leaves));
+  expect_close(nl.total_capacitance(), c_total, 1e-9,
+               "compiled deck capacitance vs net capacitance");
+}
+
+void check_cached_vs_naive(const net::Net& net, Rng rng, const OracleOptions& options) {
+  const double input_slew = rng.uniform(25 * ps, 300 * ps);
+  tech::DeckOptions cached = equivalence_deck(options, short_horizon(net, input_slew));
+  cached.sim.assembly = sim::AssemblyMode::cached;
+  cached.sim.debug_cached_stamp_skew = options.stamp_skew;
+  tech::DeckOptions naive = cached;
+  naive.sim.assembly = sim::AssemblyMode::naive;
+  naive.sim.debug_cached_stamp_skew = 0.0;
+  if (rng.chance(0.5)) {
+    // Backward Euler exercises the other companion-model branch.
+    cached.sim.integrator = naive.sim.integrator = sim::Integrator::backward_euler;
+  }
+
+  tech::NetSimResult fast, ref;
+  if (rng.chance(0.5)) {
+    // Nonlinear path: MOSFET driver, memcpy'd static image + restamping.
+    const tech::Technology technology = tech::Technology::cmos180();
+    const tech::Inverter cell{rng.pick(kCells)};
+    fast = tech::simulate_driver_net(technology, cell, input_slew, net, cached);
+    ref = tech::simulate_driver_net(technology, cell, input_slew, net, naive);
+  } else {
+    // Linear path: ideal source replay, factor-once fast path.
+    const wave::Pwl source = wave::ramp(10 * ps, input_slew, 0.0, 1.8);
+    fast = tech::simulate_source_net(source, net, cached);
+    ref = tech::simulate_source_net(source, net, naive);
+  }
+
+  expect_waveforms_equal(fast.near_end, ref.near_end, 0.0, "cached vs naive near end");
+  for (std::size_t k = 0; k < fast.leaves.size(); ++k) {
+    expect_waveforms_equal(fast.leaves[k], ref.leaves[k], 0.0,
+                           "cached vs naive leaf " + std::to_string(k));
+  }
+}
+
+void check_cached_vs_naive(const net::CoupledGroup& group, Rng rng,
+                           const OracleOptions& options) {
+  const tech::Technology technology = tech::Technology::cmos180();
+  double t_stop = 0.0;
+  std::vector<tech::NetDrive> drives(group.size());
+  for (std::size_t k = 0; k < group.size(); ++k) {
+    drives[k].cell = tech::Inverter{rng.pick(kCells)};
+    drives[k].input_slew = rng.uniform(25 * ps, 200 * ps);
+    const tech::DriveEdge edges[] = {tech::DriveEdge::rise, tech::DriveEdge::fall,
+                                     tech::DriveEdge::hold_low};
+    drives[k].edge = edges[rng.uniform_index(3)];
+    t_stop = std::max(t_stop, short_horizon(group.net_at(k), drives[k].input_slew));
+  }
+  // At least one edge must switch or the deck just sits at DC.
+  drives[0].edge = tech::DriveEdge::rise;
+
+  tech::DeckOptions cached = equivalence_deck(options, t_stop);
+  cached.sim.assembly = sim::AssemblyMode::cached;
+  cached.sim.debug_cached_stamp_skew = options.stamp_skew;
+  tech::DeckOptions naive = cached;
+  naive.sim.assembly = sim::AssemblyMode::naive;
+  naive.sim.debug_cached_stamp_skew = 0.0;
+
+  const tech::CoupledSimResult fast =
+      tech::simulate_coupled_group(technology, drives, group, cached);
+  const tech::CoupledSimResult ref =
+      tech::simulate_coupled_group(technology, drives, group, naive);
+  for (std::size_t k = 0; k < group.size(); ++k) {
+    expect_waveforms_equal(fast.nets[k].near_end, ref.nets[k].near_end, 0.0,
+                           "coupled cached vs naive near end of '" + group.label_at(k) +
+                               "'");
+    for (std::size_t j = 0; j < fast.nets[k].leaves.size(); ++j) {
+      expect_waveforms_equal(fast.nets[k].leaves[j], ref.nets[k].leaves[j], 0.0,
+                             "coupled cached vs naive leaf " + std::to_string(j) +
+                                 " of '" + group.label_at(k) + "'");
+    }
+  }
+}
+
+void check_banded_vs_dense(const net::Net& net, Rng rng, const OracleOptions& options) {
+  const double input_slew = rng.uniform(25 * ps, 300 * ps);
+  tech::DeckOptions banded = equivalence_deck(options, short_horizon(net, input_slew));
+  tech::DeckOptions dense = banded;
+  dense.sim.force_dense = true;
+
+  const wave::Pwl source = wave::ramp(10 * ps, input_slew, 0.0, 1.8);
+  const tech::NetSimResult a = tech::simulate_source_net(source, net, banded);
+  const tech::NetSimResult b = tech::simulate_source_net(source, net, dense);
+
+  // Different factorizations (band pivoting vs dense partial pivoting) agree
+  // to rounding, not bitwise; 1e-9 V on a 1.8 V swing is far below any
+  // physical signal and far above accumulated LU noise.
+  expect_waveforms_equal(a.near_end, b.near_end, 1e-9, "banded vs dense near end");
+  for (std::size_t k = 0; k < a.leaves.size(); ++k) {
+    expect_waveforms_equal(a.leaves[k], b.leaves[k], 1e-9,
+                           "banded vs dense leaf " + std::to_string(k));
+  }
+}
+
+void check_charge_conservation(const net::Net& net, Rng rng,
+                               const OracleOptions& options) {
+  const double v_final = 1.0;
+  const double rs = rng.log_uniform(25.0, 300.0);
+  const double tr = rng.uniform(20 * ps, 200 * ps);
+  const double t_start = 10 * ps;
+  const net::NetMetrics m = net.metrics();
+  const double c_total = net.total_capacitance();
+  const double t_stop =
+      t_start + tr + 10.0 * (rs + m.path_resistance) * c_total + 14.0 * m.time_of_flight;
+
+  const wave::Pwl source = wave::ramp(t_start, tr, 0.0, v_final);
+  ckt::Netlist nl;
+  const ckt::NodeId src = nl.node("src");
+  const ckt::NodeId near = nl.node("near");
+  nl.add_vsource(src, ckt::ground, source);
+  nl.add_resistor(src, near, rs);
+  const ckt::NetDeckNodes nodes = ckt::append_net(nl, near, net, options.segments);
+
+  sim::TransientOptions sim_options;
+  sim_options.t_stop = t_stop;
+  sim_options.dt = options.dt;
+  std::vector<ckt::NodeId> probes;
+  probes.push_back(near);
+  for (ckt::NodeId leaf : nodes.leaves) {
+    if (std::find(probes.begin(), probes.end(), leaf) == probes.end()) {
+      probes.push_back(leaf);
+    }
+  }
+  const sim::TransientResult result = sim::simulate(nl, sim_options, probes);
+
+  // (a) Every probed node settles on the source rail.
+  for (ckt::NodeId probe : probes) {
+    const double v_end = result.at(probe).final_value();
+    expect(std::abs(v_end - v_final) <= 5e-3 * v_final,
+           "node did not settle: final value " + fmt(v_end) + " vs rail " +
+               fmt(v_final) + " (t_stop " + fmt(t_stop) + " s)");
+  }
+
+  // (b) The charge delivered through the source resistor equals the charge
+  // stored on the (purely capacitive) net: integral of (v_src - v_near)/Rs.
+  const wave::Waveform& w = result.at(near);
+  double charge = 0.0;
+  for (std::size_t k = 1; k < w.size(); ++k) {
+    const double i0 = (source.value_at(w.time(k - 1)) - w.value(k - 1)) / rs;
+    const double i1 = (source.value_at(w.time(k)) - w.value(k)) / rs;
+    charge += 0.5 * (i0 + i1) * (w.time(k) - w.time(k - 1));
+  }
+  expect_close(charge, c_total * v_final, 1e-2,
+               "delivered charge vs C_total * V (charge conservation)");
+}
+
+void check_engine_outcome(api::Engine& engine, const api::Request& request,
+                          const api::BatchOptions& options) {
+  const api::Outcome<api::Response> strict = engine.model(request, options);
+
+  if (!strict.ok()) {
+    const api::ErrorInfo& e = strict.error();
+    expect(e.code != api::ErrorCode::internal_error,
+           "engine escaped with internal_error: " + e.message);
+    expect(e.code != api::ErrorCode::invalid_request,
+           "generator-valid request rejected as invalid_request: " + e.message);
+    expect(e.scenario == request.label,
+           "failure attributed to '" + e.scenario + "' instead of '" + request.label +
+               "'");
+  } else {
+    const api::Response& r = strict.value();
+    expect(r.model.ceff1.converged, "successful outcome with non-converged Ceff1");
+    expect(r.model.kind == core::ModelKind::one_ramp || r.model.ceff2.converged,
+           "successful two-ramp outcome with non-converged Ceff2");
+    expect(std::isfinite(r.model_near.delay) && std::isfinite(r.model_near.slew),
+           "non-finite modeled edge metrics");
+    expect(r.model_near.slew > 0.0, "non-positive modeled slew");
+    // For coupled requests the model runs on the Miller-decoupled net, whose
+    // capacitance includes every attached coupling cap at its aggressor's
+    // factor (up to 2x) — bound Ceff against *that* net, not the bare victim.
+    double c_total = 0.0;
+    if (request.coupled()) {
+      std::vector<double> factors(request.group.size(), 1.0);
+      for (const api::Aggressor& a : request.aggressors) {
+        factors[a.net] = core::miller_factor(a.switching);
+      }
+      c_total = request.group.decoupled_net(request.victim, factors)
+                    .total_capacitance();
+    } else {
+      c_total = request.net.total_capacitance();
+    }
+    expect(r.model.ceff1.ceff > 0.0 && r.model.ceff1.ceff <= 1.2 * c_total,
+           "Ceff1 " + fmt(r.model.ceff1.ceff) + " outside (0, 1.2 * C_total = " +
+               fmt(1.2 * c_total) + "]");
+  }
+
+  // require_convergence only *gates*: with the gate off the same request must
+  // succeed, and when the strict run succeeded the results must be bitwise
+  // identical (the flag must never change the physics).
+  api::Request lenient = request;
+  lenient.require_convergence = false;
+  const api::Outcome<api::Response> loose = engine.model(lenient, options);
+  if (strict.ok()) {
+    expect(loose.ok(), "require_convergence=false failed where strict succeeded: " +
+                           (loose.ok() ? std::string() : loose.error().message));
+    expect(loose.value().model_near.delay == strict.value().model_near.delay &&
+               loose.value().model_near.slew == strict.value().model_near.slew &&
+               loose.value().model.ceff1.ceff == strict.value().model.ceff1.ceff,
+           "require_convergence flag changed converged results");
+  } else if (strict.error().code == api::ErrorCode::convergence_failure) {
+    expect(loose.ok(),
+           "convergence_failure did not downgrade to last-iterate semantics: " +
+               (loose.ok() ? std::string() : loose.error().message));
+  }
+}
+
+namespace {
+
+void scale_loads(net::Branch& branch, double factor) {
+  branch.c_load *= factor;
+  for (net::Branch& child : branch.children) scale_loads(child, factor);
+}
+
+void scale_route(net::Branch& branch, double factor) {
+  for (net::Section& s : branch.sections) {
+    s.resistance *= factor;
+    s.inductance *= factor;
+    s.capacitance *= factor;
+  }
+  for (net::Branch& child : branch.children) scale_route(child, factor);
+}
+
+}  // namespace
+
+void check_monotone_delay(api::Engine& engine, const net::Net& net, double cell_size,
+                          double input_slew, const api::BatchOptions& options) {
+  auto delay_of = [&](const net::Net& variant, core::ModelSelection selection,
+                      bool add_flight) -> std::pair<bool, double> {
+    api::Request request;
+    request.label = "monotone";
+    request.cell_size = cell_size;
+    request.input_slew = input_slew;
+    request.net = variant;
+    request.model.selection = selection;
+    const api::Outcome<api::Response> outcome = engine.model(request, options);
+    if (!outcome.ok()) return {false, 0.0};
+    const api::Response& r = outcome.value();
+    return {true, r.model_near.delay + (add_flight ? r.model.tf : 0.0)};
+  };
+
+  auto check_growing = [&](auto&& grow, double factor, core::ModelSelection selection,
+                           bool add_flight, double rel_slack, const char* what) {
+    net::Branch branch = net.root();
+    double previous = 0.0;
+    bool have_previous = false;
+    for (int step = 0; step < 3; ++step) {
+      if (step > 0) grow(branch, factor);
+      const auto [ok, delay] = delay_of(net::Net(branch), selection, add_flight);
+      if (!ok) return;  // convergence surface is check_engine_outcome's job
+      if (have_previous) {
+        // The slack absorbs table-interpolation kinks and the truncated
+        // 5-moment fit's charge wobble; a real inversion (swapped tables,
+        // sign errors, dropped load) shows up far beyond it.
+        const double slack = rel_slack * std::abs(previous) + 2 * ps;
+        expect(delay >= previous - slack,
+               std::string(what) + ": delay shrank from " + fmt(previous) + " s to " +
+                   fmt(delay) + " s when the " + what + " grew");
+      }
+      previous = delay;
+      have_previous = true;
+    }
+  };
+
+  // Load growth can only flip the Eq 9 selection one-ramp-ward, which jumps
+  // the near-end delay *up* — the automatic flow stays monotone at the
+  // driver output.
+  check_growing([](net::Branch& b, double f) { scale_loads(b, f); }, 2.0,
+                core::ModelSelection::automatic, false, 0.03, "receiver load");
+  // Length growth is different: the *physical* near-end delay saturates once
+  // the line is longer than the transition's diffusion/flight horizon (the
+  // driver only sees Z0 until the far end answers), so the near-end number
+  // may legitimately wobble flat-to-down as moments truncate.  What must
+  // never speed up is the modeled far-end arrival: near-end t50 plus the
+  // dominant-path flight time.  Pin the one-ramp column so the Eq 9
+  // selection flip (which legitimately drops the near-end t50) stays out of
+  // the sweep.
+  check_growing([](net::Branch& b, double f) { scale_route(b, f); }, 1.5,
+                core::ModelSelection::force_one_ramp, true, 0.10, "route length");
+}
+
+void check_batch_invariance(api::Engine& engine, std::vector<api::Request> requests,
+                            const api::BatchOptions& options, Rng rng) {
+  auto run = [&](std::span<const api::Request> batch, unsigned n_threads) {
+    api::BatchOptions opt = options;
+    opt.n_threads = n_threads;
+    return engine.run_batch(batch, opt);
+  };
+
+  const std::vector<api::Outcome<api::Response>> serial = run(requests, 1);
+  const std::vector<api::Outcome<api::Response>> wide = run(requests, 4);
+
+  auto expect_same_slot = [&](const api::Outcome<api::Response>& a,
+                              const api::Outcome<api::Response>& b,
+                              const std::string& what) {
+    expect(a.ok() == b.ok(), what + ": ok flags differ");
+    if (!a.ok()) {
+      expect(a.error().code == b.error().code, what + ": error codes differ");
+      return;
+    }
+    expect(a.value().model_near.delay == b.value().model_near.delay &&
+               a.value().model_near.slew == b.value().model_near.slew &&
+               a.value().model.ceff1.ceff == b.value().model.ceff1.ceff,
+           what + ": results differ bitwise");
+  };
+
+  for (std::size_t k = 0; k < requests.size(); ++k) {
+    expect_same_slot(serial[k], wide[k],
+                     "thread-count invariance, slot '" + requests[k].label + "'");
+  }
+
+  // Deterministic permutation: rotate by a random offset, then swap a few
+  // random pairs.  results[i] must still correspond to requests[i].
+  std::vector<std::size_t> order(requests.size());
+  for (std::size_t k = 0; k < order.size(); ++k) order[k] = k;
+  std::rotate(order.begin(), order.begin() + rng.uniform_index(order.size()),
+              order.end());
+  for (int swap = 0; swap < 4; ++swap) {
+    std::swap(order[rng.uniform_index(order.size())],
+              order[rng.uniform_index(order.size())]);
+  }
+  std::vector<api::Request> permuted;
+  permuted.reserve(requests.size());
+  for (std::size_t index : order) permuted.push_back(requests[index]);
+  const std::vector<api::Outcome<api::Response>> shuffled = run(permuted, 3);
+  for (std::size_t k = 0; k < order.size(); ++k) {
+    expect_same_slot(serial[order[k]], shuffled[k],
+                     "permutation invariance, slot '" + permuted[k].label + "'");
+  }
+}
+
+void check_group_invariants(const net::CoupledGroup& group, std::size_t victim,
+                            const OracleOptions& options) {
+  double per_net_sum = 0.0;
+  for (std::size_t k = 0; k < group.size(); ++k) {
+    per_net_sum += group.coupling_capacitance_at(k);
+  }
+  double cap_sum = 0.0;
+  for (const net::CouplingCap& cc : group.coupling_caps()) cap_sum += cc.capacitance;
+  expect_close(per_net_sum, 2.0 * cap_sum, 1e-12,
+               "per-net coupling capacitance vs 2x element sum");
+
+  const double victim_cap = group.net_at(victim).total_capacitance();
+  const double attached = group.coupling_capacitance_at(victim);
+
+  // Quiet folding (all 1x) grounds every attached coupling cap.
+  expect_close(group.decoupled_net(victim).total_capacitance(), victim_cap + attached,
+               1e-12, "quiet Miller folding capacitance");
+
+  // 0x folding drops every coupling cap: the victim net unchanged.
+  const std::vector<double> zero(group.size(), 0.0);
+  expect(group.decoupled_net(victim, zero).total_capacitance() == victim_cap,
+         "0x Miller folding changed the victim net");
+
+  // 2x folding doubles the attached charge.
+  const std::vector<double> twice(group.size(), 2.0);
+  expect_close(group.decoupled_net(victim, twice).total_capacitance(),
+               victim_cap + 2.0 * attached, 1e-12, "2x Miller folding capacitance");
+
+  // The one-net group is the degenerate case: identical compiled deck.
+  const net::CoupledGroup single = net::CoupledGroup::single(group.net_at(victim));
+  ckt::Netlist nl_single, nl_direct;
+  const ckt::NodeId from_single = nl_single.node("out");
+  const ckt::NodeId from_direct = nl_direct.node("out");
+  const std::vector<ckt::NodeId> from{from_single};
+  ckt::append_coupled_group(nl_single, from, single, options.segments);
+  ckt::append_net(nl_direct, from_direct, group.net_at(victim), options.segments);
+  expect(nl_single.node_count() == nl_direct.node_count() &&
+             nl_single.resistors().size() == nl_direct.resistors().size() &&
+             nl_single.capacitors().size() == nl_direct.capacitors().size() &&
+             nl_single.inductors().size() == nl_direct.inductors().size(),
+         "single-net group compiled a different deck shape than append_net");
+  for (std::size_t k = 0; k < nl_single.resistors().size(); ++k) {
+    expect(nl_single.resistors()[k].resistance == nl_direct.resistors()[k].resistance,
+           "single-net group resistor " + std::to_string(k) + " differs");
+  }
+  for (std::size_t k = 0; k < nl_single.capacitors().size(); ++k) {
+    expect(nl_single.capacitors()[k].capacitance ==
+               nl_direct.capacitors()[k].capacitance,
+           "single-net group capacitor " + std::to_string(k) + " differs");
+  }
+  for (std::size_t k = 0; k < nl_single.inductors().size(); ++k) {
+    expect(nl_single.inductors()[k].inductance == nl_direct.inductors()[k].inductance,
+           "single-net group inductor " + std::to_string(k) + " differs");
+  }
+}
+
+void check_miller_envelope(const tech::Technology& technology,
+                           charlib::CellLibrary& library, const GroupRecipe& recipe,
+                           Rng rng, const OracleOptions& options) {
+  core::CoupledExperimentCase scenario;
+  scenario.label = "miller-" + describe(recipe);
+  scenario.group = instantiate(recipe);
+  scenario.victim = rng.uniform_index(scenario.group.size());
+  scenario.driver_size = rng.pick(kCells);
+  scenario.input_slew = rng.uniform(50 * ps, 200 * ps);
+  core::AggressorDrive drive;
+  for (std::size_t k = 0; k < scenario.group.size(); ++k) {
+    drive.driver_size = rng.pick(kCells);
+    drive.input_slew = rng.uniform(50 * ps, 200 * ps);
+    drive.switching = rng.chance(0.5) ? core::AggressorSwitching::opposite
+                                      : core::AggressorSwitching::same_direction;
+    scenario.aggressors.push_back(drive);
+  }
+
+  core::CoupledExperimentOptions opt;
+  opt.deck.segments = options.segments;
+  opt.deck.dt = options.dt;
+  opt.grid.input_slews = {50 * ps, 100 * ps, 200 * ps};
+  opt.grid.loads = {20 * ff, 50 * ff,  200 * ff, 500 * ff,
+                    1 * pf,  2 * pf,   4 * pf};
+  opt.include_noise = true;
+
+  const core::CoupledExperimentResult r =
+      core::run_coupled_experiment(technology, library, scenario, opt);
+
+  expect(std::isfinite(r.ref_far.delay) && r.ref_far.slew > 0.0,
+         "coupled reference produced a degenerate far-end edge");
+  // The 0x/2x Miller factors are a worst-case bound, not a fit: with a slow
+  // opposing aggressor the decoupled delay legitimately overshoots the
+  // coupled simulation by tens of percent.  The envelope guards against
+  // catastrophic breakage (dropped coupling, wrong sign, broken replay),
+  // not against the approximation's documented error.
+  const double envelope = 0.5 * std::abs(r.ref_far.delay) + 15 * ps;
+  expect(std::abs(r.model_far.delay - r.ref_far.delay) <= envelope,
+         "Miller-decoupled far-end delay " + fmt(r.model_far.delay) +
+             " s outside the envelope of the coupled simulation " +
+             fmt(r.ref_far.delay) + " s (envelope " + fmt(envelope) + " s)");
+  expect(r.peak_noise >= 0.0 && r.peak_noise <= technology.vdd,
+         "quiet-victim peak noise " + fmt(r.peak_noise) + " V outside [0, Vdd]");
+}
+
+namespace {
+
+// Fuzzed validation: build a small valid branch tree, then plant one defect
+// at a random path and require the error message to name that location.
+net::Branch small_valid_branch(Rng& rng, std::size_t depth) {
+  net::Branch branch;
+  const std::size_t n_sections = 1 + rng.uniform_index(2);
+  for (std::size_t k = 0; k < n_sections; ++k) {
+    branch.sections.push_back({rng.log_uniform(10.0, 500.0),
+                               rng.log_uniform(0.1 * nh, 5 * nh),
+                               rng.log_uniform(50 * ff, 1 * pf),
+                               net::SectionKind::distributed});
+  }
+  if (depth == 0) {
+    branch.c_load = rng.log_uniform(5 * ff, 100 * ff);
+    return branch;
+  }
+  const std::size_t fanout = 2;
+  for (std::size_t k = 0; k < fanout; ++k) {
+    branch.children.push_back(small_valid_branch(rng, depth - 1));
+  }
+  return branch;
+}
+
+struct BranchSite {
+  net::Branch* branch;
+  std::string path;
+};
+
+void collect_sites(net::Branch& branch, const std::string& path,
+                   std::vector<BranchSite>& out) {
+  out.push_back({&branch, path});
+  for (std::size_t k = 0; k < branch.children.size(); ++k) {
+    collect_sites(branch.children[k], path + "/" + std::to_string(k), out);
+  }
+}
+
+template <class Fn>
+void expect_error_naming(Fn&& fn, const std::vector<std::string>& needles,
+                         const std::string& what) {
+  try {
+    fn();
+  } catch (const Error& e) {
+    const std::string message = e.what();
+    for (const std::string& needle : needles) {
+      expect(message.find(needle) != std::string::npos,
+             what + ": error message does not name '" + needle + "' (got: \"" +
+                 message + "\")");
+    }
+    return;
+  }
+  throw Error("oracle: " + what + ": defective input was accepted");
+}
+
+}  // namespace
+
+void check_validation_reporting(Rng rng) {
+  net::Branch root = small_valid_branch(rng, 1 + rng.uniform_index(2));
+  std::vector<BranchSite> sites;
+  collect_sites(root, "root", sites);
+  const BranchSite site = sites[rng.uniform_index(sites.size())];
+  const std::size_t section = rng.uniform_index(site.branch->sections.size());
+  const std::string section_name = "section " + std::to_string(section);
+
+  switch (rng.uniform_index(8)) {
+    case 0:
+      site.branch->sections[section].resistance = -rng.log_uniform(1.0, 100.0);
+      expect_error_naming([&] { net::Net probe{root}; },
+                          {section_name, "'" + site.path + "'", "resistance"},
+                          "negative section resistance");
+      break;
+    case 1:
+      site.branch->sections[section].inductance = -rng.log_uniform(0.1 * nh, 1 * nh);
+      expect_error_naming([&] { net::Net probe{root}; },
+                          {section_name, "'" + site.path + "'", "inductance"},
+                          "negative section inductance");
+      break;
+    case 2:
+      site.branch->sections[section].capacitance = 0.0;
+      expect_error_naming([&] { net::Net probe{root}; },
+                          {section_name, "'" + site.path + "'", "capacitance"},
+                          "zero distributed capacitance");
+      break;
+    case 3:
+      site.branch->c_load = -rng.log_uniform(1 * ff, 100 * ff);
+      expect_error_naming([&] { net::Net probe{root}; },
+                          {"'" + site.path + "'", "load"}, "negative receiver load");
+      break;
+    case 4: {
+      for (BranchSite& s : sites) s.branch->probe.clear();
+      sites.front().branch->probe = "dup";
+      site.branch->probe = "dup";
+      if (site.branch == sites.front().branch) {
+        sites.back().branch->probe = "dup";
+      }
+      expect_error_naming([&] { net::Net probe{root}; }, {"duplicate probe", "'dup'"},
+                          "duplicate probe name");
+      break;
+    }
+    case 5: {
+      site.branch->children.push_back(net::Branch{});  // phantom leaf
+      const std::string child_path =
+          site.path + "/" + std::to_string(site.branch->children.size() - 1);
+      expect_error_naming([&] { net::Net probe{root}; },
+                          {"'" + child_path + "'", "empty"}, "empty branch");
+      break;
+    }
+    case 6: {
+      // Coupled-group addressing defects.
+      net::CoupledGroup group;
+      group.add_net(net::Net(root), "alpha");
+      net::Branch other = small_valid_branch(rng, 0);
+      group.add_net(net::Net(other), "beta");
+      const std::size_t sections_in_beta = group.section_count(1);
+      expect_error_naming(
+          [&] {
+            group.couple_capacitance({0, 0}, {1, sections_in_beta + 2}, 10 * ff);
+          },
+          {"'beta'", "section " + std::to_string(sections_in_beta + 2),
+           std::to_string(sections_in_beta) + " sections"},
+          "coupling section out of range");
+      expect_error_naming([&] { group.couple_capacitance({0, 0}, {0, 1}, 10 * ff); },
+                          {"same net"}, "coupling both ends on one net");
+      expect_error_naming([&] { group.couple_capacitance({0, 0}, {1, 0}, 0.0); },
+                          {"'alpha'", "'beta'", "non-physical"},
+                          "zero coupling capacitance");
+      group.couple_inductance({0, 0}, {1, 0}, 0.6);
+      expect_error_naming([&] { group.couple_inductance({0, 0}, {1, 0}, 0.55); },
+                          {"'alpha'", "'beta'", "accumulates"},
+                          "accumulated mutual coupling past passivity");
+      break;
+    }
+    default: {
+      // Engine request validation.
+      api::Request request;
+      request.label = "defective";
+      request.cell_size = -1.0;
+      expect_error_naming(
+          [&] {
+            api::Engine engine;
+            api::Outcome<api::Response> outcome = engine.model(request);
+            expect(!outcome.ok() &&
+                       outcome.error().code == api::ErrorCode::invalid_request,
+                   "negative cell size not rejected as invalid_request");
+            throw Error(outcome.error().message);
+          },
+          {"'defective'", "cell size"}, "negative cell size");
+      break;
+    }
+  }
+}
+
+}  // namespace rlceff::testkit

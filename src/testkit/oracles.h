@@ -1,0 +1,116 @@
+// Checkable invariants ("oracles") for randomly generated instances.
+//
+// Each oracle takes an instance the generators produced and throws
+// rlceff::Error with a specific message when the stack violates one of its
+// own guarantees.  The oracles only use properties that hold for *every*
+// valid input — conservation laws, documented equivalences, and the
+// library's own error taxonomy — never golden numbers:
+//
+//   * cached-vs-naive:     both MNA assembly modes produce identical
+//                          waveforms (the factor-once engine's contract),
+//   * banded-vs-dense:     the banded LU agrees with the dense fallback,
+//   * charge conservation: the charge a source pushes into a passive net
+//                          equals C_total * Vdd once every node settles,
+//   * net invariants:      moments' m1 == total capacitance, the compiled
+//                          deck carries the net's capacitance, metrics are
+//                          consistent with the topology,
+//   * engine outcome:      Ceff iterations either converge or surface as a
+//                          clean convergence_failure (never internal_error),
+//                          and require_convergence only gates — it never
+//                          changes converged results,
+//   * monotone delay:      growing the receiver load or the route length
+//                          never speeds the modeled edge up,
+//   * batch invariance:    Engine::run_batch results are bitwise invariant
+//                          under thread count and slot permutation,
+//   * group invariants:    Miller folding preserves total capacitance and
+//                          the one-net group compiles the one-net deck,
+//   * Miller envelope:     the decoupled model's far-end delay tracks the
+//                          full coupled simulation within a coarse envelope.
+//
+// The sim-backed oracles run at deliberately low fidelity (few segments,
+// coarse dt) — the invariants hold at every fidelity, and low fidelity is
+// what lets the harness sweep ~1000 instances in seconds.
+#ifndef RLCEFF_TESTKIT_ORACLES_H
+#define RLCEFF_TESTKIT_ORACLES_H
+
+#include <cstdint>
+#include <vector>
+
+#include "api/engine.h"
+#include "net/coupled.h"
+#include "net/net.h"
+#include "testkit/generate.h"
+#include "testkit/rng.h"
+
+namespace rlceff::testkit {
+
+struct OracleOptions {
+  std::size_t segments = 8;  // ladder discretization of sim-backed decks
+  double dt = 2e-12;         // sim step [s]
+  // Fault injection (the harness's own self-test): forwarded to
+  // sim::TransientOptions::debug_cached_stamp_skew on the *cached* run of
+  // the cached-vs-naive oracle.  Any nonzero value must be caught.
+  double stamp_skew = 0.0;
+};
+
+// Topology/moments/deck consistency of one net.  No simulation.
+void check_net_invariants(const net::Net& net, const OracleOptions& options = {});
+
+// Simulates one deck (driver-driven or source-driven, drawn from `rng`)
+// with AssemblyMode::cached and AssemblyMode::naive and requires identical
+// waveforms.  Also accepts coupled groups (every net driven).
+void check_cached_vs_naive(const net::Net& net, Rng rng, const OracleOptions& options);
+void check_cached_vs_naive(const net::CoupledGroup& group, Rng rng,
+                           const OracleOptions& options);
+
+// Simulates one linear deck with the banded solver and with force_dense and
+// requires agreement to factorization rounding.
+void check_banded_vs_dense(const net::Net& net, Rng rng, const OracleOptions& options);
+
+// Drives the net through a series resistor with a saturated ramp and checks
+// (a) every leaf settles on the rail and (b) the integrated source charge
+// equals C_total * Vdd.
+void check_charge_conservation(const net::Net& net, Rng rng,
+                               const OracleOptions& options);
+
+// Runs one request through Engine::model twice (require_convergence on and
+// off) and checks the outcome taxonomy: success implies converged
+// iterations and finite metrics; failure must carry a structured, non
+// internal_error code; the opt-out run must reproduce converged results
+// bitwise.
+void check_engine_outcome(api::Engine& engine, const api::Request& request,
+                          const api::BatchOptions& options);
+
+// Models the same net with growing receiver load (x1, x2, x4) and growing
+// route length (x1, x1.5, x2.25) and requires non-decreasing delay (small
+// slack for model-selection boundaries).  Vacuous when a variant fails to
+// converge (check_engine_outcome owns that surface).
+void check_monotone_delay(api::Engine& engine, const net::Net& net, double cell_size,
+                          double input_slew, const api::BatchOptions& options);
+
+// run_batch determinism: same requests at 1 worker, at several workers, and
+// permuted — per-label results must match bitwise (codes for failed slots).
+void check_batch_invariance(api::Engine& engine, std::vector<api::Request> requests,
+                            const api::BatchOptions& options, Rng rng);
+
+// CoupledGroup consistency: Miller folding preserves capacitance totals and
+// the single-net group compiles to the exact single-net deck.
+void check_group_invariants(const net::CoupledGroup& group, std::size_t victim,
+                            const OracleOptions& options);
+
+// The expensive end-to-end oracle: full coupled simulation vs the
+// Miller-decoupled model through core::run_coupled_experiment at low
+// fidelity; far-end delays must agree within a coarse envelope.
+void check_miller_envelope(const tech::Technology& technology,
+                           charlib::CellLibrary& library, const GroupRecipe& recipe,
+                           Rng rng, const OracleOptions& options);
+
+// Validation fuzz: plants one defect at a known location in an otherwise
+// valid net / group / request and requires construction to throw an Error
+// whose message names the planted location (branch path, section index, net
+// label).  This is the oracle that hunts wrong-index validation messages.
+void check_validation_reporting(Rng rng);
+
+}  // namespace rlceff::testkit
+
+#endif  // RLCEFF_TESTKIT_ORACLES_H

@@ -1,0 +1,120 @@
+#include "testkit/replay.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "testkit/rng.h"
+#include "util/error.h"
+#include "util/units.h"
+
+namespace rlceff::testkit {
+
+namespace {
+
+using namespace rlceff::units;
+
+// Shortest decimal string that round-trips the double exactly.
+std::string num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+void append_branch(std::string& out, const std::string& label, const net::Branch& branch,
+                   const std::string& path) {
+  for (const net::Section& s : branch.sections) {
+    out += "xsec " + label + " " + path + " " + num(s.resistance) + " " +
+           num(s.inductance / nh) + " " + num(s.capacitance / ff);
+    if (s.kind == net::SectionKind::lumped) out += " lumped";
+    out += "\n";
+  }
+  if (branch.c_load > 0.0) {
+    out += "xload " + label + " " + path + " " + num(branch.c_load / ff) + "\n";
+  }
+  for (std::size_t k = 0; k < branch.children.size(); ++k) {
+    append_branch(out, label, branch.children[k], path + "/" + std::to_string(k));
+  }
+}
+
+void append_net_stanzas(std::string& out, const std::string& label, double cell_size,
+                        double input_slew, const net::Net& net) {
+  out += "xnet " + label + " " + num(cell_size) + " " + num(input_slew / ps) + "\n";
+  append_branch(out, label, net.root(), "root");
+}
+
+const char* switching_mode(core::AggressorSwitching switching) {
+  switch (switching) {
+    case core::AggressorSwitching::same_direction:
+      return "rise";
+    case core::AggressorSwitching::opposite:
+      return "fall";
+    case core::AggressorSwitching::quiet:
+      break;
+  }
+  return "quiet";
+}
+
+}  // namespace
+
+std::string replay_deck(const api::Request& request) {
+  std::string out = "# property-harness replay deck for '" + request.label + "'\n";
+  if (!request.coupled()) {
+    append_net_stanzas(out, request.label, request.cell_size, request.input_slew,
+                       request.net);
+    return out;
+  }
+
+  // Coupled request: the victim keeps the request's drive; every other group
+  // net is marked aggressor (explicitly quiet when the request left it
+  // implicit), so the deck yields exactly one result slot — the victim's.
+  const net::CoupledGroup& group = request.group;
+  for (std::size_t k = 0; k < group.size(); ++k) {
+    double cell = 75.0;
+    double slew = 100 * ps;
+    const char* mode = "quiet";
+    if (k == request.victim) {
+      cell = request.cell_size;
+      slew = request.input_slew;
+    } else {
+      for (const api::Aggressor& a : request.aggressors) {
+        if (a.net != k) continue;
+        cell = a.cell_size;
+        slew = a.input_slew;
+        mode = switching_mode(a.switching);
+        break;
+      }
+    }
+    append_net_stanzas(out, group.label_at(k), cell, slew, group.net_at(k));
+    if (k != request.victim) {
+      out += "aggressor " + group.label_at(k) + " " + mode + "\n";
+    }
+  }
+  // Emit each coupling element on its own line; the CLI sums repeated lines
+  // for the same section pair exactly as the group accumulated them (a zero
+  // capacitance or zero k field means "this line carries only the other
+  // element").
+  for (const net::CouplingCap& cc : group.coupling_caps()) {
+    out += "couple " + group.label_at(cc.a.net) + " " + group.label_at(cc.b.net) + " " +
+           num(cc.capacitance / ff) + " 0 " + std::to_string(cc.a.section) + " " +
+           std::to_string(cc.b.section) + "\n";
+  }
+  for (const net::MutualCoupling& mc : group.mutual_couplings()) {
+    out += "couple " + group.label_at(mc.a.net) + " " + group.label_at(mc.b.net) +
+           " 0 " + num(mc.k) + " " + std::to_string(mc.a.section) + " " +
+           std::to_string(mc.b.section) + "\n";
+  }
+  return out;
+}
+
+std::string write_failure_deck(const std::string& dir, const std::string& family,
+                               std::uint64_t seed, const api::Request& request) {
+  std::filesystem::create_directories(dir);
+  const std::string path = dir + "/" + family + "-" + seed_hex(seed) + ".deck";
+  std::ofstream out(path);
+  ensure(out.good(), "testkit: cannot write replay deck " + path);
+  out << replay_deck(request);
+  return path;
+}
+
+}  // namespace rlceff::testkit

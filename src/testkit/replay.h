@@ -1,0 +1,34 @@
+// Failure replay: serialize a generated instance to an rlceff_cli deck.
+//
+// The property harness reports every failure as (seed, recipe, deck): the
+// seed re-runs the harness on that one instance, and the deck feeds the same
+// interconnect through `rlceff_cli`, so any counterexample is a one-line
+// repro with no C++ involved.  Decks use the explicit-parasitics stanzas
+// (`xnet` / `xsec` / `xload`) that can express every topology the generator
+// produces — uniform lines, tapers, branched trees, and coupled groups with
+// section-addressed coupling — at full %.17g double precision.  Note the
+// round trip is exact up to the deck's unit scaling (values are written in
+// nH/fF/ps and multiplied back on parse, which can move a value by 1 ulp):
+// a CLI replay rebuilds the instance to machine precision, while the
+// harness's --seed rerun regenerates it bit-exactly.
+#ifndef RLCEFF_TESTKIT_REPLAY_H
+#define RLCEFF_TESTKIT_REPLAY_H
+
+#include <cstdint>
+#include <string>
+
+#include "api/request.h"
+
+namespace rlceff::testkit {
+
+// The deck text reproducing one model-only request (plain or coupled).
+std::string replay_deck(const api::Request& request);
+
+// Writes replay_deck() under `dir` (created if missing) as
+// "<family>-<seed>.deck" and returns the path.
+std::string write_failure_deck(const std::string& dir, const std::string& family,
+                               std::uint64_t seed, const api::Request& request);
+
+}  // namespace rlceff::testkit
+
+#endif  // RLCEFF_TESTKIT_REPLAY_H

@@ -1,0 +1,114 @@
+// Deterministic random streams for the property harness.
+//
+// The generators in testkit must produce the *same* instances for the same
+// seed on every platform, standard library, and thread count — a failing
+// seed printed by CI has to reproduce on a laptop.  <random> distributions
+// are implementation-defined, so Rng carries an explicit 64-bit splitmix64
+// state and derives every draw (uniform doubles, log-uniform spans, index
+// picks) from raw 64-bit outputs with fixed arithmetic.
+//
+// Streams are cheap values: copy one to fork a replayable sub-stream, or
+// call split() for a decorrelated child stream.  mix_seed() derives the
+// per-instance seeds of a family sweep (base seed x family id x index) so
+// instance k is the same whether the sweep runs on 1 thread or 64.
+#ifndef RLCEFF_TESTKIT_RNG_H
+#define RLCEFF_TESTKIT_RNG_H
+
+#include <cmath>
+#include <cstdint>
+#include <cstddef>
+#include <cstdio>
+#include <string>
+
+#include "util/error.h"
+
+namespace rlceff::testkit {
+
+// Canonical seed spelling shared by recipe descriptions, failure reports,
+// and rerun lines ("0x" + 16 lowercase hex digits) — one formatter so the
+// three never drift apart.
+inline std::string seed_hex(std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "0x%016llx", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+namespace detail {
+
+// splitmix64 output function (Steele, Lea, Flood): one 64-bit hash step.
+inline std::uint64_t mix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace detail
+
+// Combines a base seed with stream coordinates (family id, instance index)
+// into an independent instance seed.
+inline std::uint64_t mix_seed(std::uint64_t base, std::uint64_t a, std::uint64_t b = 0) {
+  std::uint64_t h = base;
+  h = detail::mix64(h + 0x9E3779B97F4A7C15ull * (a + 1));
+  h = detail::mix64(h + 0x9E3779B97F4A7C15ull * (b + 1));
+  return h;
+}
+
+class Rng {
+public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t state() const { return state_; }
+
+  std::uint64_t next_u64() {
+    state_ += 0x9E3779B97F4A7C15ull;
+    return detail::mix64(state_);
+  }
+
+  // An independent child stream (hash-separated from this stream's future).
+  Rng split() { return Rng(detail::mix64(next_u64() ^ 0xA02BDBF7BB3C0A7ull)); }
+
+  // Uniform in [0, 1) with 53 significant bits.
+  double uniform01() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  double uniform(double lo, double hi) {
+    ensure(hi >= lo, "Rng::uniform: empty range");
+    return lo + (hi - lo) * uniform01();
+  }
+
+  // Log-uniform over [lo, hi]; both bounds must be positive.  The natural
+  // draw for physical magnitudes spanning decades (fF..pF, ohm..kohm).
+  double log_uniform(double lo, double hi) {
+    ensure(lo > 0.0 && hi >= lo, "Rng::log_uniform: bad range");
+    return lo * std::exp(uniform01() * std::log(hi / lo));
+  }
+
+  // Uniform index in [0, n).
+  std::size_t uniform_index(std::size_t n) {
+    ensure(n > 0, "Rng::uniform_index: empty range");
+    // Modulo bias is < 2^-40 for the small n testkit uses; determinism
+    // matters more than the last ulp of uniformity here.
+    return static_cast<std::size_t>(next_u64() % n);
+  }
+
+  // Uniform integer in [lo, hi], both inclusive.
+  int uniform_int(int lo, int hi) {
+    ensure(hi >= lo, "Rng::uniform_int: empty range");
+    return lo + static_cast<int>(uniform_index(static_cast<std::size_t>(hi - lo) + 1));
+  }
+
+  bool chance(double p) { return uniform01() < p; }
+
+  template <class T, std::size_t N>
+  const T& pick(const T (&options)[N]) {
+    return options[uniform_index(N)];
+  }
+
+private:
+  std::uint64_t state_;
+};
+
+}  // namespace rlceff::testkit
+
+#endif  // RLCEFF_TESTKIT_RNG_H

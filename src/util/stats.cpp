@@ -26,6 +26,11 @@ double mean_abs(std::span<const double> xs) {
 }
 
 double max_abs(std::span<const double> xs) {
+  // Consistent with mean/mean_abs/fraction_below: an empty sample is a
+  // caller bug, not a 0.0 (silently reporting "max error 0" for an empty
+  // error vector is exactly the kind of vacuous pass a harness must not
+  // produce).
+  ensure(!xs.empty(), "max_abs: empty sample");
   double acc = 0.0;
   for (double x : xs) acc = std::max(acc, std::abs(x));
   return acc;

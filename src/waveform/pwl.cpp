@@ -2,16 +2,34 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <string>
 
 #include "util/error.h"
 
 namespace rlceff::wave {
 
+namespace {
+
+std::string fmt_time(double t) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%g", t);
+  return buf;
+}
+
+}  // namespace
+
 Pwl::Pwl(std::vector<std::pair<double, double>> points) : points_(std::move(points)) {
   ensure(!points_.empty(), "Pwl: needs at least one point");
   for (std::size_t i = 1; i < points_.size(); ++i) {
+    // Name the offending index and the two timestamps: duplicate breakpoints
+    // (a plateau collapsing to zero width, a replayed deck rounding two
+    // times together) are the common construction failure and "must be
+    // strictly increasing" alone does not say where.
     ensure(points_[i].first > points_[i - 1].first,
-           "Pwl: times must be strictly increasing");
+           "Pwl: time[" + std::to_string(i) + "] = " + fmt_time(points_[i].first) +
+               " does not increase over time[" + std::to_string(i - 1) + "] = " +
+               fmt_time(points_[i - 1].first));
   }
 }
 

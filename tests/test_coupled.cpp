@@ -122,6 +122,21 @@ TEST(CoupledGroupValidation, RejectsDuplicateLabelsAndEmptyNets) {
   EXPECT_EQ(1u, group.size());
 }
 
+// Found by the property generator: an explicit "net1" followed by an
+// unlabeled net used to abort with a duplicate-label error the caller never
+// wrote, because the auto-label counter blindly used the insertion index.
+TEST(CoupledGroupValidation, AutoLabelsSkipTakenNames) {
+  CoupledGroup group;
+  group.add_net(short_line(), "net1");
+  const std::size_t a = group.add_net(short_line());  // would auto-label "net1"
+  const std::size_t b = group.add_net(short_line());
+  EXPECT_EQ("net1", group.label_at(0));
+  EXPECT_EQ("net2", group.label_at(a));
+  EXPECT_EQ("net3", group.label_at(b));
+  EXPECT_EQ(0u, group.index_of("net1"));
+  EXPECT_EQ(a, group.index_of("net2"));
+}
+
 TEST(CoupledGroupValidation, ErrorsNameTheOffendingPair) {
   CoupledGroup group;
   group.add_net(short_line(), "left");

@@ -82,6 +82,34 @@ TEST(NetValidation, ErrorsNameTheOffendingElement) {
   EXPECT_NE(std::string::npos, nested.find("branch 'root/1'")) << nested;
 }
 
+// Pinned alongside the property harness's validation fuzz
+// (testkit::check_validation_reporting): a defect two levels deep must name
+// its full branch path and its in-branch section index, not a sibling's.
+TEST(NetValidation, ErrorsNameDeepBranchPathsAndSectionIndices) {
+  Branch leaf_ok{{{30.0, 1 * nh, 0.3 * pf, SectionKind::distributed}}, 10 * ff, "", {}};
+  Branch leaf_bad;
+  leaf_bad.sections.push_back({25.0, 1 * nh, 0.2 * pf, SectionKind::distributed});
+  leaf_bad.sections.push_back({25.0, -1 * nh, 0.2 * pf, SectionKind::distributed});
+  Branch mid;
+  mid.sections.push_back({40.0, 2 * nh, 0.4 * pf, SectionKind::distributed});
+  mid.children = {leaf_ok, leaf_bad};
+  Branch root;
+  root.sections.push_back({50.0, 1 * nh, 1 * pf, SectionKind::distributed});
+  root.children = {leaf_ok, mid};
+
+  const std::string msg = error_message([&root] { (void)Net(root); });
+  EXPECT_NE(std::string::npos, msg.find("section 1 of branch 'root/1/1'")) << msg;
+  EXPECT_NE(std::string::npos, msg.find("inductance")) << msg;
+
+  // A negative load on the same deep branch names the path too.
+  Branch load_bad = root;
+  load_bad.children[1].children[1].sections.pop_back();
+  load_bad.children[1].children[1].c_load = -1 * ff;
+  const std::string load_msg = error_message([&load_bad] { (void)Net(load_bad); });
+  EXPECT_NE(std::string::npos, load_msg.find("branch 'root/1/1'")) << load_msg;
+  EXPECT_NE(std::string::npos, load_msg.find("load")) << load_msg;
+}
+
 TEST(NetValidation, RejectsEmptyAndZeroLengthNets) {
   EXPECT_THROW(Net::multi_section({}, 20 * ff), Error);
   EXPECT_THROW(Net(Branch{}), Error);  // no sections, no children

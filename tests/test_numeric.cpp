@@ -117,6 +117,25 @@ TEST(Stats, EmptySampleThrows) {
   EXPECT_THROW(mean(empty), Error);
   EXPECT_THROW(mean_abs(empty), Error);
   EXPECT_THROW(fraction_below(empty, 1.0), Error);
+  // max_abs used to silently return 0.0 for an empty sample — the one
+  // aggregate that produced a vacuous "max error 0" instead of failing like
+  // its siblings.  Pinned after the property generator flagged the
+  // inconsistency.
+  EXPECT_THROW(max_abs(empty), Error);
+}
+
+TEST(Stats, DegenerateSingletonAndConstantSamples) {
+  const std::vector<double> one{-0.25};
+  EXPECT_DOUBLE_EQ(-0.25, mean(one));
+  EXPECT_DOUBLE_EQ(0.25, mean_abs(one));
+  EXPECT_DOUBLE_EQ(0.25, max_abs(one));
+  EXPECT_DOUBLE_EQ(0.0, fraction_below(one, 0.25));  // strictly below
+  EXPECT_DOUBLE_EQ(1.0, fraction_below(one, 0.2500001));
+
+  const std::vector<double> zeros{0.0, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(0.0, mean(zeros));
+  EXPECT_DOUBLE_EQ(0.0, max_abs(zeros));
+  EXPECT_DOUBLE_EQ(1.0, fraction_below(zeros, 1e-300));
 }
 
 }  // namespace

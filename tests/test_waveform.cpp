@@ -148,6 +148,52 @@ TEST(Pwl, SampleAndToWaveformAgree) {
   }
 }
 
+// Edge cases the property generator's decks hit: empty descriptions,
+// single-point (DC) sources, duplicate timestamps from collapsed plateaus,
+// and outright non-monotone input.
+TEST(Pwl, EmptyConstructionAndAccessorsThrow) {
+  EXPECT_THROW(Pwl(std::vector<std::pair<double, double>>{}), Error);
+  const Pwl empty;  // default-constructed: allowed, but every accessor throws
+  EXPECT_TRUE(empty.empty());
+  EXPECT_THROW(empty.value_at(0.0), Error);
+  EXPECT_THROW(empty.start_time(), Error);
+  EXPECT_THROW(empty.end_time(), Error);
+  EXPECT_THROW(empty.final_value(), Error);
+  EXPECT_THROW(empty.to_waveform(1.0), Error);
+}
+
+TEST(Pwl, SinglePointIsConstant) {
+  // What a held-low coupled-deck input looks like: one breakpoint, flat
+  // extension on both sides.
+  const Pwl hold({{5.0, 1.8}});
+  EXPECT_DOUBLE_EQ(1.8, hold.value_at(-100.0));
+  EXPECT_DOUBLE_EQ(1.8, hold.value_at(5.0));
+  EXPECT_DOUBLE_EQ(1.8, hold.value_at(1e9));
+  EXPECT_DOUBLE_EQ(5.0, hold.start_time());
+  EXPECT_DOUBLE_EQ(5.0, hold.end_time());
+  EXPECT_DOUBLE_EQ(1.8, hold.final_value());
+  const Waveform w = hold.to_waveform(10.0);
+  EXPECT_DOUBLE_EQ(1.8, w.value_at(0.0));
+  EXPECT_DOUBLE_EQ(1.8, w.value_at(10.0));
+}
+
+TEST(Pwl, DuplicateTimestampRejectionNamesTheIndex) {
+  try {
+    Pwl bad({{0.0, 0.0}, {1.0, 0.5}, {1.0, 1.0}});
+    FAIL() << "duplicate timestamp accepted";
+  } catch (const Error& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("time[2]"), std::string::npos) << message;
+    EXPECT_NE(message.find("time[1]"), std::string::npos) << message;
+  }
+}
+
+TEST(Pwl, NonMonotoneTimesRejected) {
+  EXPECT_THROW(Pwl({{0.0, 0.0}, {2.0, 1.0}, {1.0, 0.5}}), Error);
+  EXPECT_THROW(ramp(0.0, -1.0, 0.0, 1.8), Error);
+  EXPECT_THROW(ramp(0.0, 0.0, 0.0, 1.8), Error);
+}
+
 TEST(Pwl, MeasuredSlewOfTwoRampCombinesBothSlopes) {
   // f = 0.6 > 0.5: t10 and t50 on ramp 1, t90 on ramp 2.
   const double f = 0.6;

@@ -8,12 +8,29 @@
 //
 // plus two optional stanza kinds for coupled nets:
 //
-//   couple <netA> <netB> <cc_ff> [k]     distributed coupling cap (and
+//   couple <netA> <netB> <cc_ff> [k [secA secB]]
+//                                        distributed coupling cap (and
 //                                        optional inductive coefficient)
-//                                        between two previously listed nets
+//                                        between two previously listed nets;
+//                                        secA/secB address the depth-first
+//                                        sections the elements span (default
+//                                        0); a zero cc_ff or k field means
+//                                        the line carries only the other
+//                                        element, and repeated lines on one
+//                                        section pair accumulate
 //   aggressor <net> rise|fall|quiet      mark a coupled net as an aggressor
 //                                        (rise switches with the victims,
 //                                        fall against them, quiet holds)
+//
+// and the explicit-parasitics form the property harness's replay decks use
+// for topologies geometry lines cannot express (tapers, trees, exact R/L/C):
+//
+//   xnet <label> <driver_size> <slew_ps>    declare an explicit net
+//   xsec <label> <path> <r_ohm> <l_nh> <c_ff> [lumped]
+//                                           append one wire section to the
+//                                           branch at <path> ("root",
+//                                           "root/0", "root/1/0", ...)
+//   xload <label> <path> <cload_ff>         lumped receiver at the branch end
 //
 // Nets connected by `couple` lines form one coupled group; every member not
 // marked as an aggressor is a victim and gets its own result slot (modeled
@@ -38,6 +55,7 @@
 //     --threads <n>      sweep pool width (default: hardware concurrency)
 //     --json             machine-readable output (per-net delay/slew/noise
 //                        and error slots) instead of the text table
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -112,9 +130,25 @@ bool parse_args(int argc, char** argv, CliOptions& opt) {
   return !opt.deck_path.empty();
 }
 
-// One parsed deck line.  Net construction is deferred to request build time
-// so a malformed geometry surfaces as a per-net Outcome failure, not a
-// deck-parse abort.
+// One explicit wire section / receiver load of an `xnet` (paths are child
+// index chains below the root branch, already parsed).
+struct DeckSection {
+  std::vector<std::size_t> path;
+  double r_ohm = 0.0;
+  double l_nh = 0.0;
+  double c_ff = 0.0;
+  bool lumped = false;
+};
+
+struct DeckLoad {
+  std::vector<std::size_t> path;
+  double cload_ff = 0.0;
+};
+
+// One parsed deck net — either the geometry form (length/width through the
+// wire model) or the explicit-parasitics form (xnet/xsec/xload stanzas).
+// Net construction is deferred to request build time so a malformed
+// geometry surfaces as a per-net Outcome failure, not a deck-parse abort.
 struct DeckNet {
   std::string label;
   double driver_size = 0.0;
@@ -122,13 +156,18 @@ struct DeckNet {
   double length_mm = 0.0;
   double width_um = 0.0;
   double cload_ff = 0.0;
+  bool explicit_net = false;
+  std::vector<DeckSection> sections;
+  std::vector<DeckLoad> loads;
 };
 
 struct DeckCouple {
   std::string a;
   std::string b;
   double cc_ff = 0.0;
-  double k = 0.0;  // optional inductive coupling coefficient
+  double k = 0.0;          // optional inductive coupling coefficient
+  std::size_t sec_a = 0;   // optional depth-first section addresses
+  std::size_t sec_b = 0;
 };
 
 struct Deck {
@@ -137,6 +176,54 @@ struct Deck {
   std::map<std::string, std::string> aggressors;  // label -> rise|fall|quiet
 };
 
+// Branch fan-outs and section counts are tiny in practice; bounding the
+// parsed indices keeps a corrupt deck from driving children.resize() into
+// gigabytes (or strtoul's ULONG_MAX clamp into out-of-bounds indexing).
+constexpr unsigned long kMaxDeckIndex = 4096;
+
+// Parses "root", "root/0", "root/1/0", ... into the child index chain below
+// the root branch.  Returns false on malformed or absurd paths.
+bool parse_branch_path(const std::string& text, std::vector<std::size_t>& out) {
+  out.clear();
+  if (text == "root") return true;
+  if (text.rfind("root/", 0) != 0) return false;
+  std::size_t begin = 5;
+  while (begin <= text.size()) {
+    const std::size_t slash = text.find('/', begin);
+    const std::string part = text.substr(begin, slash == std::string::npos
+                                                    ? std::string::npos
+                                                    : slash - begin);
+    if (part.empty()) return false;
+    char* end = nullptr;
+    const unsigned long index = std::strtoul(part.c_str(), &end, 10);
+    if (end == part.c_str() || *end != '\0' || index > kMaxDeckIndex) return false;
+    out.push_back(static_cast<std::size_t>(index));
+    if (slash == std::string::npos) return true;
+    begin = slash + 1;
+  }
+  return false;
+}
+
+// Strict numeric token parse (strtod accepting the whole token).
+bool parse_number(const std::string& token, double& out) {
+  char* end = nullptr;
+  out = std::strtod(token.c_str(), &end);
+  return end != token.c_str() && *end == '\0';
+}
+
+// Strict field extraction for the explicit-parasitics stanzas: a whole
+// whitespace-delimited token must parse as a number ("20.5.5" is a typo,
+// not a 20.5 followed by ignorable junk).
+bool next_number(std::istringstream& fields, double& out) {
+  std::string token;
+  return (fields >> token) && parse_number(token, out);
+}
+
+bool at_line_end(std::istringstream& fields) {
+  std::string trailing;
+  return !(fields >> trailing);
+}
+
 // Returns 0 on success, 1 on malformed decks, 2 on duplicate net labels.
 int read_deck(const std::string& path, Deck& deck) {
   std::ifstream in(path);
@@ -144,6 +231,12 @@ int read_deck(const std::string& path, Deck& deck) {
     std::fprintf(stderr, "cannot open deck file: %s\n", path.c_str());
     return 1;
   }
+  auto net_named = [&deck](const std::string& label) -> DeckNet* {
+    for (DeckNet& net : deck.nets) {
+      if (net.label == label) return &net;
+    }
+    return nullptr;
+  };
   std::string line;
   std::size_t line_no = 0;
   while (std::getline(in, line)) {
@@ -157,23 +250,127 @@ int read_deck(const std::string& path, Deck& deck) {
     if (head == "couple") {
       DeckCouple couple;
       if (!(fields >> couple.a >> couple.b >> couple.cc_ff)) {
-        std::fprintf(stderr, "%s:%zu: expected 'couple netA netB cc_ff [k]'\n",
+        std::fprintf(stderr,
+                     "%s:%zu: expected 'couple netA netB cc_ff [k [secA secB]]'\n",
                      path.c_str(), line_no);
         return 1;
       }
-      // The coefficient is optional, but a malformed token must not be
+      // The trailing fields are optional, but a malformed token must not be
       // silently dropped as "absent".
-      if (std::string k_token; fields >> k_token) {
-        char* end = nullptr;
-        couple.k = std::strtod(k_token.c_str(), &end);
-        std::string trailing;
-        if (end == k_token.c_str() || *end != '\0' || (fields >> trailing)) {
-          std::fprintf(stderr, "%s:%zu: malformed coupling coefficient '%s'\n",
-                       path.c_str(), line_no, k_token.c_str());
+      std::vector<std::string> rest;
+      for (std::string token; fields >> token;) rest.push_back(token);
+      if (rest.size() != 0 && rest.size() != 1 && rest.size() != 3) {
+        std::fprintf(stderr,
+                     "%s:%zu: expected 'couple netA netB cc_ff [k [secA secB]]'\n",
+                     path.c_str(), line_no);
+        return 1;
+      }
+      if (!rest.empty() && !parse_number(rest[0], couple.k)) {
+        std::fprintf(stderr, "%s:%zu: malformed coupling coefficient '%s'\n",
+                     path.c_str(), line_no, rest[0].c_str());
+        return 1;
+      }
+      if (rest.size() == 3) {
+        double sec_a = 0.0;
+        double sec_b = 0.0;
+        // Bound *before* casting: converting a NaN or out-of-range double
+        // to size_t is undefined behavior, so the range check must run on
+        // the doubles (the >= / <= pair also rejects NaN).
+        auto valid_index = [](double v) {
+          return v >= 0.0 && v <= static_cast<double>(kMaxDeckIndex) &&
+                 v == std::floor(v);
+        };
+        if (!parse_number(rest[1], sec_a) || !parse_number(rest[2], sec_b) ||
+            !valid_index(sec_a) || !valid_index(sec_b)) {
+          std::fprintf(stderr, "%s:%zu: malformed section addresses '%s %s'\n",
+                       path.c_str(), line_no, rest[1].c_str(), rest[2].c_str());
           return 1;
         }
+        couple.sec_a = static_cast<std::size_t>(sec_a);
+        couple.sec_b = static_cast<std::size_t>(sec_b);
+      }
+      // A line with zero capacitance *and* zero k couples nothing — reject
+      // it here, because the zero fields legitimately skip the couple_*
+      // calls (and with them the per-slot validation that would otherwise
+      // have flagged the typo).
+      if (couple.cc_ff == 0.0 && couple.k == 0.0) {
+        std::fprintf(stderr,
+                     "%s:%zu: couple line carries no coupling element (cc_ff and k "
+                     "both zero)\n",
+                     path.c_str(), line_no);
+        return 1;
       }
       deck.couples.push_back(std::move(couple));
+      continue;
+    }
+    if (head == "xnet") {
+      DeckNet net;
+      net.explicit_net = true;
+      if (!(fields >> net.label) || !next_number(fields, net.driver_size) ||
+          !next_number(fields, net.slew_ps) || !at_line_end(fields)) {
+        std::fprintf(stderr, "%s:%zu: expected 'xnet label size slew_ps'\n",
+                     path.c_str(), line_no);
+        return 1;
+      }
+      if (net_named(net.label) != nullptr) {
+        std::fprintf(stderr,
+                     "%s:%zu: duplicate net label '%s' (labels identify result "
+                     "slots and must be unique)\n",
+                     path.c_str(), line_no, net.label.c_str());
+        return 2;
+      }
+      deck.nets.push_back(std::move(net));
+      continue;
+    }
+    if (head == "xsec" || head == "xload") {
+      std::string label, path_text;
+      if (!(fields >> label >> path_text)) {
+        std::fprintf(stderr, "%s:%zu: expected '%s label path ...'\n", path.c_str(),
+                     line_no, head.c_str());
+        return 1;
+      }
+      DeckNet* net = net_named(label);
+      if (net == nullptr || !net->explicit_net) {
+        std::fprintf(stderr, "%s:%zu: %s references %s net '%s'\n", path.c_str(),
+                     line_no, head.c_str(),
+                     net == nullptr ? "unknown" : "non-explicit", label.c_str());
+        return 1;
+      }
+      std::vector<std::size_t> branch_path;
+      if (!parse_branch_path(path_text, branch_path)) {
+        std::fprintf(stderr, "%s:%zu: malformed branch path '%s'\n", path.c_str(),
+                     line_no, path_text.c_str());
+        return 1;
+      }
+      if (head == "xload") {
+        DeckLoad load;
+        load.path = std::move(branch_path);
+        if (!next_number(fields, load.cload_ff) || !at_line_end(fields)) {
+          std::fprintf(stderr, "%s:%zu: expected 'xload label path cload_ff'\n",
+                       path.c_str(), line_no);
+          return 1;
+        }
+        net->loads.push_back(std::move(load));
+      } else {
+        DeckSection section;
+        section.path = std::move(branch_path);
+        if (!next_number(fields, section.r_ohm) || !next_number(fields, section.l_nh) ||
+            !next_number(fields, section.c_ff)) {
+          std::fprintf(stderr,
+                       "%s:%zu: expected 'xsec label path r_ohm l_nh c_ff [lumped]'\n",
+                       path.c_str(), line_no);
+          return 1;
+        }
+        if (std::string flag; fields >> flag) {
+          if (flag != "lumped" || !at_line_end(fields)) {
+            std::fprintf(stderr, "%s:%zu: unknown section flag '%s'\n", path.c_str(),
+                         line_no, flag.c_str());
+            return 1;
+          }
+          section.lumped = true;
+        }
+        net->sections.push_back(std::move(section));
+      }
       continue;
     }
     if (head == "aggressor") {
@@ -408,9 +605,32 @@ int main(int argc, char** argv) {
   }
 
   const tech::WireModel wires;
-  auto build_net = [&](const DeckNet& n) {
-    return tech::line_net(wires.extract({n.length_mm * mm, n.width_um * um}),
-                          n.cload_ff * ff);
+  auto build_net = [&](const DeckNet& n) -> net::Net {
+    if (!n.explicit_net) {
+      return tech::line_net(wires.extract({n.length_mm * mm, n.width_um * um}),
+                            n.cload_ff * ff);
+    }
+    // Explicit form: assemble the branch tree the xsec/xload paths describe
+    // (branches materialize on first reference; net::Net validation rejects
+    // gaps and empty branches with messages naming the path).
+    net::Branch root;
+    auto branch_at = [&root](const std::vector<std::size_t>& path) -> net::Branch& {
+      net::Branch* branch = &root;
+      for (std::size_t index : path) {
+        if (branch->children.size() <= index) branch->children.resize(index + 1);
+        branch = &branch->children[index];
+      }
+      return *branch;
+    };
+    for (const DeckSection& s : n.sections) {
+      branch_at(s.path).sections.push_back(
+          {s.r_ohm, s.l_nh * nh, s.c_ff * ff,
+           s.lumped ? net::SectionKind::lumped : net::SectionKind::distributed});
+    }
+    for (const DeckLoad& l : n.loads) {
+      branch_at(l.path).c_load += l.cload_ff * ff;
+    }
+    return net::Net(std::move(root));
   };
 
   // One result slot per plain net and per coupled victim, in deck order.
@@ -446,9 +666,10 @@ int main(int argc, char** argv) {
         for (const DeckCouple& c : deck.couples) {
           const std::size_t a = net_index(deck, c.a);
           if (component[a] != component[k]) continue;
-          const net::SectionRef ra{group.index_of(c.a), 0};
-          const net::SectionRef rb{group.index_of(c.b), 0};
-          group.couple_capacitance(ra, rb, c.cc_ff * ff);
+          const net::SectionRef ra{group.index_of(c.a), c.sec_a};
+          const net::SectionRef rb{group.index_of(c.b), c.sec_b};
+          // A zero field means this line carries only the other element.
+          if (c.cc_ff != 0.0) group.couple_capacitance(ra, rb, c.cc_ff * ff);
           if (c.k != 0.0) group.couple_inductance(ra, rb, c.k);
         }
         for (std::size_t m : members) {
