@@ -9,8 +9,15 @@
 // are counted, not hidden — the number of clean slots is part of the
 // trajectory.
 //
+// Fleet requests run with the retry-and-degrade policy enabled, the way a
+// deadline-bound timing service would issue them, so the bench also reports
+// the tail of the per-slot latency distribution (p50/p95/p99 over
+// Response::elapsed_s) and the fraction of slots answered from a degraded
+// ladder tier.
+//
 // Usage: randomized_fleet [--nets N] [--seed S]   (defaults: 256 nets,
 // the property harness's base seed).  Writes BENCH_random_fleet.json.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -48,6 +55,7 @@ int main(int argc, char** argv) {
     testkit::Rng rng(testkit::mix_seed(seed, 0xF1EE7, k));
     api::Request request = testkit::random_request(rng);
     request.label += "-" + std::to_string(k);
+    request.degrade.enabled = true;
     requests.push_back(std::move(request));
   }
 
@@ -59,21 +67,50 @@ int main(int argc, char** argv) {
 
   std::size_t ok = 0;
   std::size_t coupled = 0;
+  std::size_t degraded = 0;
+  std::vector<double> slot_s;
+  slot_s.reserve(results.size());
   for (std::size_t k = 0; k < results.size(); ++k) {
-    if (results[k].ok()) ++ok;
+    if (results[k].ok()) {
+      ++ok;
+      if (results[k].value().degraded) ++degraded;
+      slot_s.push_back(results[k].value().elapsed_s);
+    } else {
+      slot_s.push_back(results[k].error().elapsed_s);
+    }
     if (requests[k].coupled()) ++coupled;
   }
   const double nets_per_s = static_cast<double>(n_nets) / elapsed;
 
+  // Nearest-rank percentiles over the per-slot wall times the API stamps on
+  // every outcome (success or failure alike).
+  std::sort(slot_s.begin(), slot_s.end());
+  const auto pct = [&slot_s](double p) {
+    if (slot_s.empty()) return 0.0;
+    const double rank = p / 100.0 * static_cast<double>(slot_s.size() - 1);
+    return slot_s[static_cast<std::size_t>(rank + 0.5)];
+  };
+  const double p50 = pct(50.0), p95 = pct(95.0), p99 = pct(99.0);
+  const double degraded_fraction =
+      static_cast<double>(degraded) / static_cast<double>(n_nets);
+
   std::printf("randomized fleet: %zu nets (%zu coupled), %zu ok, %.2f ms total, "
               "%.0f nets/s (model-only, warm cache)\n",
               n_nets, coupled, ok, 1e3 * elapsed, nets_per_s);
+  std::printf("  per-slot latency: p50 %.1f us, p95 %.1f us, p99 %.1f us; "
+              "degraded %.1f%% (%zu slots)\n",
+              1e6 * p50, 1e6 * p95, 1e6 * p99, 1e2 * degraded_fraction,
+              degraded);
 
   bench::write_bench_json(
       "BENCH_random_fleet.json", "randomized_fleet",
       {{"fleet_nets", static_cast<double>(n_nets), "nets"},
        {"fleet_coupled_nets", static_cast<double>(coupled), "nets"},
        {"fleet_ok_fraction", static_cast<double>(ok) / static_cast<double>(n_nets), ""},
-       {"fleet_nets_per_s", nets_per_s, "nets/s"}});
+       {"fleet_nets_per_s", nets_per_s, "nets/s"},
+       {"fleet_slot_p50_us", 1e6 * p50, "us"},
+       {"fleet_slot_p95_us", 1e6 * p95, "us"},
+       {"fleet_slot_p99_us", 1e6 * p99, "us"},
+       {"fleet_degraded_fraction", degraded_fraction, ""}});
   return 0;
 }

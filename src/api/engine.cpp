@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cmath>
 #include <fstream>
+#include <optional>
 #include <utility>
 
 #include "core/coupled_experiment.h"
@@ -100,9 +101,24 @@ core::EdgeMetrics measure_model(const core::DriverOutputModel& m, double vdd) {
 
 Engine::Engine(tech::Technology technology) : technology_(technology) {}
 
-Response Engine::model_or_throw(const Request& request, const BatchOptions& options) {
+Response Engine::model_or_throw(const Request& request, const BatchOptions& options,
+                                util::ExecTracker* budget, std::size_t slot,
+                                bool run_hook) {
   validate(request);
+  if (budget) budget->check("api::Engine slot");
+  if (run_hook && options.debug_slot_fault) {
+    util::ExecTracker unbudgeted;
+    options.debug_slot_fault(slot, budget ? *budget : unbudgeted);
+  }
   const auto t0 = std::chrono::steady_clock::now();
+
+  // Thread the armed budget into every layer this slot touches: the Ceff
+  // fixed points (via the model options) and the transient step/Newton loops
+  // (via the deck's TransientOptions).
+  core::DriverModelOptions model_opt = request.model;
+  model_opt.iteration.budget = budget;
+  tech::DeckOptions deck = options.deck;
+  deck.sim.budget = budget;
 
   Response response;
   response.label = request.label;
@@ -111,9 +127,9 @@ Response Engine::model_or_throw(const Request& request, const BatchOptions& opti
     response.has_coupling = true;
     if (request.reference) {
       core::CoupledExperimentOptions opt;
-      opt.deck = options.deck;
+      opt.deck = deck;
       opt.grid = options.grid;
-      opt.model = request.model;
+      opt.model = model_opt;
       opt.include_far_end = request.far_end;
       opt.include_noise = request.noise;
       opt.keep_waveforms = request.keep_waveforms;
@@ -150,7 +166,7 @@ Response Engine::model_or_throw(const Request& request, const BatchOptions& opti
       }
       response.model = core::model_driver_output(
           driver, request.input_slew,
-          request.group.decoupled_net(request.victim, factors), request.model);
+          request.group.decoupled_net(request.victim, factors), model_opt);
       response.model_near = measure_model(response.model, technology_.vdd);
       // With all-quiet aggressors the Miller net is the quiet net: the
       // pushout is exactly zero, no second Ceff run needed.
@@ -159,7 +175,7 @@ Response Engine::model_or_throw(const Request& request, const BatchOptions& opti
       if (!all_quiet) {
         const core::DriverOutputModel base = core::model_driver_output(
             driver, request.input_slew,
-            request.group.decoupled_net(request.victim), request.model);
+            request.group.decoupled_net(request.victim), model_opt);
         check_convergence(request, base);
         response.delay_pushout_model =
             response.model_near.delay - measure_model(base, technology_.vdd).delay;
@@ -179,9 +195,9 @@ Response Engine::model_or_throw(const Request& request, const BatchOptions& opti
     scenario.net = request.net;
 
     core::ExperimentOptions opt;
-    opt.deck = options.deck;
+    opt.deck = deck;
     opt.grid = options.grid;
-    opt.model = request.model;
+    opt.model = model_opt;
     opt.include_far_end = request.far_end;
     opt.include_one_ramp = request.one_ramp_baseline;
     opt.keep_waveforms = request.keep_waveforms;
@@ -204,7 +220,7 @@ Response Engine::model_or_throw(const Request& request, const BatchOptions& opti
     const charlib::CharacterizedDriver& driver =
         library_.ensure_driver(technology_, request.cell_size, options.grid);
     response.model = core::model_driver_output(driver, request.input_slew,
-                                               request.net, request.model);
+                                               request.net, model_opt);
     response.model_near = measure_model(response.model, technology_.vdd);
   }
 
@@ -214,12 +230,135 @@ Response Engine::model_or_throw(const Request& request, const BatchOptions& opti
   return response;
 }
 
-Outcome<Response> Engine::model(const Request& request, const BatchOptions& options) {
-  try {
-    return Outcome<Response>(model_or_throw(request, options));
-  } catch (...) {
-    return Outcome<Response>(describe_failure(std::current_exception(), request.label));
+Response Engine::moments_only_response(const Request& request,
+                                       const BatchOptions& options) {
+  const charlib::CharacterizedDriver& driver =
+      library_.ensure_driver(technology_, request.cell_size, options.grid);
+  Response response;
+  response.label = request.label;
+  if (request.coupled()) {
+    response.has_coupling = true;
+    std::vector<double> factors(request.group.size(), 1.0);
+    for (const Aggressor& a : request.aggressors) {
+      factors[a.net] = core::miller_factor(a.switching);
+    }
+    response.model = core::estimate_driver_output_moments_only(
+        driver, request.input_slew,
+        request.group.decoupled_net(request.victim, factors));
+    response.model_near = measure_model(response.model, technology_.vdd);
+    const bool all_quiet = std::all_of(factors.begin(), factors.end(),
+                                       [](double f) { return f == 1.0; });
+    if (!all_quiet) {
+      const core::DriverOutputModel base = core::estimate_driver_output_moments_only(
+          driver, request.input_slew, request.group.decoupled_net(request.victim));
+      response.delay_pushout_model =
+          response.model_near.delay - measure_model(base, technology_.vdd).delay;
+    }
+  } else {
+    response.model = core::estimate_driver_output_moments_only(
+        driver, request.input_slew, request.net);
+    response.model_near = measure_model(response.model, technology_.vdd);
   }
+  return response;
+}
+
+Outcome<Response> Engine::run_slot(const Request& request, const BatchOptions& options,
+                                   std::size_t slot) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto elapsed = [&] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+        .count();
+  };
+
+  std::vector<Attempt> attempts;
+  const Fidelity primary =
+      request.reference ? Fidelity::reference : Fidelity::ceff_model;
+
+  auto finish = [&](Response r, Fidelity fidelity, bool degraded) {
+    r.fidelity = fidelity;
+    r.degraded = degraded;
+    r.attempts = std::move(attempts);
+    r.elapsed_s = elapsed();
+    return Outcome<Response>(std::move(r));
+  };
+  auto fail = [&](std::exception_ptr e) {
+    ErrorInfo info = describe_failure(std::move(e), request.label);
+    info.elapsed_s = elapsed();
+    return Outcome<Response>(std::move(info));
+  };
+
+  util::ExecTracker tracker(request.budget);
+  std::exception_ptr first_error;
+  try {
+    return finish(model_or_throw(request, options, &tracker, slot, true),
+                  primary, false);
+  } catch (...) {
+    first_error = std::current_exception();
+  }
+  const ErrorInfo first = describe_failure(first_error, request.label);
+
+  // Cancellation aborts outright — degrading a cancelled slot spends more
+  // work on an answer nobody is waiting for.
+  if (!request.degrade.enabled || request.budget.cancel.cancel_requested()) {
+    return fail(first_error);
+  }
+  attempts.push_back({primary, first.code, first.message});
+
+  // Damped retry, same fidelity: a converged retry is an exact answer.
+  if (first.code == ErrorCode::convergence_failure &&
+      request.degrade.retry_damping > 0.0) {
+    Request damped = request;
+    damped.model.iteration.damping = request.degrade.retry_damping;
+    try {
+      return finish(model_or_throw(damped, options, &tracker, slot, false),
+                    primary, false);
+    } catch (...) {
+      const ErrorInfo info = describe_failure(std::current_exception(), request.label);
+      attempts.push_back(
+          {primary, info.code, std::string("damped retry: ") + info.message});
+    }
+  }
+
+  const ErrorCode last = attempts.back().code;
+  const bool degradable = last == ErrorCode::deadline_exceeded ||
+                          last == ErrorCode::resource_exhausted ||
+                          last == ErrorCode::convergence_failure;
+  if (!degradable) return fail(first_error);
+
+  // Ladder tier 2: a reference request falls back to the table-driven Ceff
+  // model.  The exhausted wall budget is deliberately not re-armed: the
+  // fallback is iteration-capped table math with bounded cost, and raising
+  // the same DeadlineError again would make degradation unreachable.
+  if (request.reference) {
+    Request ceff_only = request;
+    ceff_only.reference = false;
+    ceff_only.one_ramp_baseline = false;
+    ceff_only.keep_waveforms = false;
+    try {
+      return finish(model_or_throw(ceff_only, options, nullptr, slot, false),
+                    Fidelity::ceff_model, true);
+    } catch (...) {
+      const ErrorInfo info = describe_failure(std::current_exception(), request.label);
+      attempts.push_back({Fidelity::ceff_model, info.code, info.message});
+    }
+  }
+
+  // Ladder floor: the moments-only estimate (cell table at Ctotal) — no
+  // iteration, cannot fail to converge.
+  if (request.degrade.moments_floor) {
+    try {
+      return finish(moments_only_response(request, options), Fidelity::moments_only,
+                    true);
+    } catch (...) {
+      // Fall through to report the original failure; the floor itself only
+      // throws for requests broken enough that degradation is meaningless.
+    }
+  }
+  return fail(first_error);
+}
+
+Outcome<Response> Engine::model(const Request& request, const BatchOptions& options) {
+  return run_slot(request, options, 0);
 }
 
 std::vector<Outcome<Response>> Engine::run_batch(std::span<const Request> requests,
@@ -248,24 +387,30 @@ std::vector<Outcome<Response>> Engine::run_batch(std::span<const Request> reques
     return nullptr;
   };
 
-  std::vector<sim::SweepSlot<Response>> slots = sim::run_sweep_collect(
-      requests,
-      [&](const Request& r) {
+  // Fan the slots out with the full per-slot policy (budget arming, retry,
+  // degradation).  run_slot never throws for per-scenario failures; the
+  // collect is belt-and-braces against anything escaping the policy itself.
+  std::vector<std::optional<Outcome<Response>>> outcomes(requests.size());
+  const std::vector<std::exception_ptr> escapes = sim::run_indexed_sweep_collect(
+      requests.size(),
+      [&](std::size_t i) {
+        const Request& r = requests[i];
         if (std::exception_ptr e = characterization_failure(r.cell_size)) {
-          std::rethrow_exception(e);
+          ErrorInfo info = describe_failure(e, r.label);
+          outcomes[i] = Outcome<Response>(std::move(info));
+          return;
         }
-        return model_or_throw(r, options);
+        outcomes[i] = run_slot(r, options, i);
       },
       options.n_threads);
 
   std::vector<Outcome<Response>> results;
-  results.reserve(slots.size());
-  for (std::size_t i = 0; i < slots.size(); ++i) {
-    if (slots[i].ok()) {
-      results.emplace_back(std::move(*slots[i].result));
+  results.reserve(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    if (outcomes[i].has_value()) {
+      results.emplace_back(std::move(*outcomes[i]));
     } else {
-      results.emplace_back(describe_failure(std::move(slots[i].error),
-                                            requests[i].label));
+      results.emplace_back(describe_failure(escapes[i], requests[i].label));
     }
   }
   return results;

@@ -68,7 +68,19 @@ public:
   void save_library(const std::string& path) const;
 
 private:
-  Response model_or_throw(const Request& request, const BatchOptions& options);
+  // One attempt at the request as written.  `budget` (nullable) is threaded
+  // into every solver loop; `run_hook` gates the test-only fault hook so
+  // retry/fallback attempts skip it.
+  Response model_or_throw(const Request& request, const BatchOptions& options,
+                          util::ExecTracker* budget, std::size_t slot,
+                          bool run_hook);
+  // The full per-slot policy: arm the budget, attempt, then retry-and-
+  // degrade per Request::degrade.  Never throws for per-scenario failures.
+  Outcome<Response> run_slot(const Request& request, const BatchOptions& options,
+                             std::size_t slot);
+  // The moments_only floor tier (core::estimate_driver_output_moments_only
+  // on the request's — possibly Miller-decoupled — net).
+  Response moments_only_response(const Request& request, const BatchOptions& options);
   // Distinct cell sizes from `sizes` not yet in the library.
   std::vector<double> collect_missing(std::span<const double> sizes) const;
 

@@ -1,5 +1,7 @@
 #include "api/outcome.h"
 
+#include "util/budget.h"
+
 namespace rlceff::api {
 
 const char* to_string(ErrorCode code) {
@@ -9,6 +11,8 @@ const char* to_string(ErrorCode code) {
     case ErrorCode::singular_system: return "singular_system";
     case ErrorCode::model_error: return "model_error";
     case ErrorCode::internal_error: return "internal_error";
+    case ErrorCode::deadline_exceeded: return "deadline_exceeded";
+    case ErrorCode::resource_exhausted: return "resource_exhausted";
   }
   return "internal_error";
 }
@@ -24,6 +28,13 @@ ErrorInfo describe_failure(std::exception_ptr error, std::string scenario) {
     std::rethrow_exception(std::move(error));
   } catch (const InvalidRequestError& e) {
     info.code = ErrorCode::invalid_request;
+    info.message = e.what();
+  } catch (const DeadlineError& e) {
+    // CancelledError derives from DeadlineError: both are "ran out of time".
+    info.code = ErrorCode::deadline_exceeded;
+    info.message = e.what();
+  } catch (const BudgetError& e) {
+    info.code = ErrorCode::resource_exhausted;
     info.message = e.what();
   } catch (const ConvergenceError& e) {
     info.code = ErrorCode::convergence_failure;

@@ -26,6 +26,9 @@ enum class ErrorCode {
   singular_system,      // an MNA or moment-fit system was (numerically) singular
   model_error,          // any other failure the library raised on purpose
   internal_error,       // a non-rlceff exception escaped a scenario
+  deadline_exceeded,    // wall-clock budget expired or the slot was cancelled
+                        // (DeadlineError / CancelledError, util/budget.h)
+  resource_exhausted,   // a step/iteration budget ran out (BudgetError)
 };
 
 const char* to_string(ErrorCode code);
@@ -34,6 +37,8 @@ struct ErrorInfo {
   ErrorCode code = ErrorCode::internal_error;
   std::string scenario;  // Request::label of the failing slot
   std::string message;   // human-readable cause (the exception's what())
+  double elapsed_s = 0.0;  // wall time the slot spent before failing (set by
+                           // the Engine; deadline slots prove promptness here)
 };
 
 // Raised by the Engine for requests it rejects up front; maps to

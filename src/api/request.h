@@ -9,9 +9,12 @@
 #ifndef RLCEFF_API_REQUEST_H
 #define RLCEFF_API_REQUEST_H
 
+#include <cstddef>
+#include <functional>
 #include <string>
 #include <vector>
 
+#include "api/outcome.h"
 #include "charlib/characterize.h"
 #include "core/coupled_experiment.h"
 #include "core/driver_model.h"
@@ -19,8 +22,55 @@
 #include "net/coupled.h"
 #include "net/net.h"
 #include "tech/testbench.h"
+#include "util/budget.h"
 
 namespace rlceff::api {
+
+// How the numbers in a Response were produced — the engine's fidelity
+// ladder, highest first.  On deadline/budget exhaustion (with
+// DegradePolicy::enabled) a slot falls down this ladder and the Response is
+// stamped with the tier that actually answered.
+enum class Fidelity {
+  reference,     // full transient reference simulation + paper-flow model
+  ceff_model,    // the paper's Ceff one/two-ramp model (table-driven)
+  moments_only,  // degraded floor: cell table at Ctotal (first moment m1);
+                 // see core::estimate_driver_output_moments_only's envelope
+};
+
+inline const char* to_string(Fidelity f) {
+  switch (f) {
+    case Fidelity::reference: return "reference";
+    case Fidelity::ceff_model: return "ceff_model";
+    case Fidelity::moments_only: return "moments_only";
+  }
+  return "ceff_model";
+}
+
+// One abandoned attempt in a slot's trail: which ladder tier was tried and
+// why it was given up.
+struct Attempt {
+  Fidelity fidelity = Fidelity::ceff_model;
+  ErrorCode code = ErrorCode::internal_error;
+  std::string message;
+};
+
+// What the Engine may do when a slot fails, instead of surfacing the error.
+// Default-off: failures stay failed Outcomes (bitwise-identical behavior to
+// a policy-free engine).  With `enabled`:
+//   1. a convergence_failure is retried once with the damped fixed point
+//      (damping = retry_damping); a converged retry is a full-fidelity,
+//      non-degraded answer (the attempt trail records the first try);
+//   2. deadline/budget exhaustion — or a retry that still fails — walks the
+//      fidelity ladder (reference -> ceff_model -> moments_only), returning
+//      the first tier that completes, flagged Response::degraded.  The
+//      fallback tiers are iteration-capped table math (no transient), so
+//      they add bounded work after an expired deadline.
+// Cancelled slots never retry or degrade: nobody is waiting for the answer.
+struct DegradePolicy {
+  bool enabled = false;
+  double retry_damping = 0.5;  // convergence retry damping; <= 0 skips retry
+  bool moments_floor = true;   // allow the moments_only floor tier
+};
 
 // One aggressor in a coupled request: which group net it drives, how hard,
 // and which way it switches relative to the victim's rising edge.  Group
@@ -62,6 +112,18 @@ struct Request {
   // per-slot convergence_failure instead of silently returning the last
   // iterate (the CeffIteration::converged flags stay inspectable either way).
   bool require_convergence = true;
+
+  // Cooperative execution budget for this slot (util/budget.h): wall-clock
+  // deadline, transient step budget, iteration sub-budgets, cancellation.
+  // Default: unlimited.  The engine arms it at slot start and threads it
+  // through every step/iteration loop; exhaustion surfaces as
+  // deadline_exceeded / resource_exhausted.  Note: cold cell
+  // characterization is not under the slot budget (run_batch/warm_cache
+  // pre-characterize outside the slots); the modeling loops are.
+  util::ExecBudget budget;
+
+  // Retry-and-degrade policy (see DegradePolicy above).  Default-off.
+  DegradePolicy degrade;
 };
 
 struct Response {
@@ -94,6 +156,14 @@ struct Response {
   double input_time_50 = 0.0;
 
   double elapsed_s = 0.0;  // wall time spent on this slot
+
+  // Provenance: which ladder tier produced the numbers, whether that is a
+  // degraded (lower-fidelity) answer, and the abandoned attempts (in order)
+  // that forced it there.  Exact answers have degraded == false and an
+  // attempt trail only when a damped retry rescued a convergence failure.
+  Fidelity fidelity = Fidelity::ceff_model;
+  bool degraded = false;
+  std::vector<Attempt> attempts;
 };
 
 struct BatchOptions {
@@ -103,6 +173,13 @@ struct BatchOptions {
   charlib::CharacterizationGrid grid = charlib::CharacterizationGrid::standard();
   // Sweep pool width for run_batch (0 = one worker per hardware thread).
   unsigned n_threads = 0;
+  // Test-only fault hook (testkit/faults.h chaos harness): when set, invoked
+  // at the start of every slot's *primary* attempt — after validation,
+  // inside the armed budget — with the slot's batch index and its
+  // ExecTracker.  May throw library errors or sleep in chunks (checkpointing
+  // the tracker) to emulate faulty workers.  Fallback/retry attempts skip
+  // the hook: faults inject at slot entry.  Never set outside tests.
+  std::function<void(std::size_t slot, util::ExecTracker& budget)> debug_slot_fault;
 };
 
 }  // namespace rlceff::api

@@ -116,8 +116,10 @@ CeffIteration run_iteration(const ChargeModel& load, const TransitionFn& transit
 
   util::FixedPointOptions fp;
   fp.rel_tol = options.rel_tol;
-  fp.max_iter = options.max_iter;
+  fp.max_iter = util::capped_iterations(
+      options.max_iter, options.budget ? options.budget->spec().max_ceff_iter : 0);
   fp.damping = options.damping;
+  fp.budget = options.budget;
   // Keep the table lookup in a sane range.  Note the upper bound is far
   // above the total capacitance: the *second* ramp's effective capacitance
   // routinely exceeds Ctotal because its window also absorbs charge the
@@ -132,6 +134,10 @@ CeffIteration run_iteration(const ChargeModel& load, const TransitionFn& transit
         return ceff_of_tr(last_tr);
       },
       c_total, fp);
+  if (!r.converged && fp.max_iter < options.max_iter) {
+    throw BudgetError("ceff iteration: budget of " + std::to_string(fp.max_iter) +
+                      " iterations exhausted");
+  }
 
   CeffIteration out;
   out.ceff = r.x;

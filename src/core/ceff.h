@@ -25,6 +25,7 @@
 
 #include "core/charge.h"
 #include "moments/rational.h"
+#include "util/budget.h"
 
 namespace rlceff::core {
 
@@ -57,10 +58,17 @@ struct CeffIteration {
   bool converged = false;
 };
 
+// Iteration ceiling precedence (see util/budget.h): the fixed point runs at
+// most capped_iterations(max_iter, budget->spec().max_ceff_iter,
+// budget->spec().max_solver_iter) iterations, checkpointing the budget each
+// iteration.  A budget-clipped loop that has not converged raises
+// BudgetError; hitting the plain max_iter keeps returning converged = false
+// for the service boundary (api::Engine::check_convergence) to judge.
 struct CeffIterationOptions {
   double rel_tol = 1e-6;
-  int max_iter = 60;
+  int max_iter = util::iter_defaults::ceff;
   double damping = 1.0;
+  util::ExecTracker* budget = nullptr;  // optional cooperative budget
 };
 
 // Maps a load capacitance to the driver's ramp-equivalent output transition

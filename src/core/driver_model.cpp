@@ -206,12 +206,18 @@ DriverOutputModel run_flow(const charlib::CharacterizedDriver& driver,
         };
         util::FixedPointOptions fp;
         fp.rel_tol = it.rel_tol;
-        fp.max_iter = it.max_iter;
+        fp.max_iter = util::capped_iterations(
+            it.max_iter, it.budget ? it.budget->spec().max_ceff_iter : 0);
         fp.damping = it.damping;
         fp.lower = 1e-4 * c_total;
         fp.upper = c_total;
+        fp.budget = it.budget;
         const util::FixedPointResult r = util::fixed_point(
             [&](double c) { return ceff_of_tr(tr3_of(c)); }, c_total, fp);
+        if (!r.converged && fp.max_iter < it.max_iter) {
+          throw BudgetError("ceff3 iteration: budget of " +
+                            std::to_string(fp.max_iter) + " iterations exhausted");
+        }
         CeffIteration out;
         out.ceff = r.x;
         out.ramp_time = tr3_of(r.x);
@@ -272,6 +278,32 @@ DriverOutputModel model_driver_output(const charlib::CharacterizedDriver& driver
                                       const moments::RlcBranch& tree,
                                       const DriverModelOptions& options) {
   return model_driver_output(driver, input_slew, net::Net::from_tree(tree), options);
+}
+
+DriverOutputModel estimate_driver_output_moments_only(
+    const charlib::CharacterizedDriver& driver, double input_slew,
+    const net::Net& net) {
+  ensure(input_slew > 0.0, "estimate_driver_output: input slew must be positive");
+  ensure(!net.empty(), "estimate_driver_output: net is empty");
+
+  DriverOutputModel m;
+  m.vdd = driver.vdd();
+  m.kind = ModelKind::one_ramp;
+  m.f = 1.0;
+
+  const double c_total = net.total_capacitance();
+  ensure(c_total > 0.0, "estimate_driver_output: net has no capacitance");
+  m.rs = driver.driver_resistance(input_slew, c_total);
+
+  m.ceff1.ceff = c_total;
+  m.ceff1.ramp_time = driver.output_transition(input_slew, c_total);
+  m.ceff1.iterations = 0;
+  m.ceff1.converged = true;
+
+  m.t50 = driver.delay(input_slew, c_total);
+  m.waveform = anchor_at_t50(wave::ramp(0.0, m.ceff1.ramp_time, 0.0, m.vdd),
+                             m.vdd, m.t50);
+  return m;
 }
 
 }  // namespace rlceff::core

@@ -114,6 +114,18 @@ DriverOutputModel model_driver_output(const charlib::CharacterizedDriver& driver
                                       const moments::RlcBranch& net,
                                       const DriverModelOptions& options = {});
 
+// Degraded floor of the api::Engine fidelity ladder: no moment fit, no
+// fixed point, no transient — just the cell table evaluated at the net's
+// total capacitance (the first admittance moment m1).  A few table lookups,
+// deterministic, cannot fail to converge.  Documented envelope: Ceff <=
+// Ctotal and the tables are monotone in load, so the estimate's delay and
+// transition upper-bound the converged Ceff model's; concretely the result
+// satisfies kind == one_ramp, ceff1 == {Ctotal, transition(Ctotal), 0,
+// converged}, and t50 == driver.delay(input_slew, Ctotal) exactly.
+DriverOutputModel estimate_driver_output_moments_only(
+    const charlib::CharacterizedDriver& driver, double input_slew,
+    const net::Net& net);
+
 }  // namespace rlceff::core
 
 #endif  // RLCEFF_CORE_DRIVER_MODEL_H

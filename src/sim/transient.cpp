@@ -176,7 +176,10 @@ public:
     }
 
     if (cached_) ensure_static(h, gmin);
-    for (int iter = 0; iter < opt_.max_newton; ++iter) {
+    const int max_newton = util::capped_iterations(
+        opt_.max_newton, opt_.budget ? opt_.budget->spec().max_newton_iter : 0);
+    for (int iter = 0; iter < max_newton; ++iter) {
+      if (opt_.budget) opt_.budget->check("transient newton");
       if (cached_) {
         // Restore the linear stamps by memcpy; only the MOSFET entries and
         // the RHS are re-stamped below.
@@ -208,7 +211,22 @@ public:
       const double scale = std::min(1.0, opt_.newton_damping_v / max_dv);
       for (std::size_t k = 0; k < m_; ++k) x_[k] += scale * (x_new_[k] - x_[k]);
     }
+    if (max_newton < opt_.max_newton) {
+      throw BudgetError("transient: Newton iteration budget of " +
+                        std::to_string(max_newton) + " exhausted");
+    }
     throw ConvergenceError("transient: Newton failed to converge");
+  }
+
+  // Non-finite solution guard: a NaN/Inf stamp (or a numerically destroyed
+  // factorization) propagates through the whole solution vector; surface it
+  // as a singular-system failure instead of letting NaN waveforms escape the
+  // linear fast path, which has no convergence check of its own.
+  bool solution_finite() const {
+    for (double v : x_) {
+      if (!std::isfinite(v)) return false;
+    }
+    return true;
   }
 
 private:
@@ -270,8 +288,14 @@ private:
       // stamps so the cached-vs-naive oracle must fire (see
       // TransientOptions).  skew == 0 leaves the stamps bit-identical.
       const double skew = cached_ ? 1.0 + opt_.debug_cached_stamp_skew : 1.0;
+      bool first_cap = true;
       for (const ckt::Capacitor& c : nl_.capacitors()) {
-        stamp_conductance(c.a, c.b, skew * (trap ? 2.0 : 1.0) * c.capacitance / h);
+        double g = skew * (trap ? 2.0 : 1.0) * c.capacitance / h;
+        if (first_cap && cached_ && opt_.debug_cached_stamp_nan) {
+          g = std::numeric_limits<double>::quiet_NaN();
+        }
+        first_cap = false;
+        stamp_conductance(c.a, c.b, g);
       }
     }
 
@@ -522,10 +546,17 @@ TransientResult simulate(const ckt::Netlist& netlist, const TransientOptions& op
 
   const bool trap = options.integrator == Integrator::trapezoidal;
   double t = 0.0;
+  std::int64_t step = 0;
   while (t < options.t_stop - 1e-21) {
+    if (options.budget) options.budget->charge_transient_steps(1, "transient");
     const double h = std::min(options.dt, options.t_stop - t);
     const double t_next = t + h;
     engine.newton(t_next, h, state, options.gmin);
+    // Periodic (cheap, amortized) non-finite guard; see solution_finite().
+    if ((++step & 63) == 0 && !engine.solution_finite()) {
+      throw SingularMatrixError("transient: non-finite solution (singular or "
+                                "NaN-stamped system)");
+    }
 
     // Advance companion-model state.
     for (std::size_t k = 0; k < netlist.capacitors().size(); ++k) {
@@ -546,6 +577,10 @@ TransientResult simulate(const ckt::Netlist& netlist, const TransientOptions& op
 
     t = t_next;
     record(t);
+  }
+  if (!engine.solution_finite()) {
+    throw SingularMatrixError("transient: non-finite solution (singular or "
+                              "NaN-stamped system)");
   }
   return result;
 }

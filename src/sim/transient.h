@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "circuit/netlist.h"
+#include "util/budget.h"
 #include "waveform/waveform.h"
 
 namespace rlceff::sim {
@@ -40,18 +41,35 @@ struct TransientOptions {
   double v_abstol = 1e-6;   // Newton voltage convergence [V]
   double i_abstol = 1e-9;   // Newton branch-current convergence [A]
   double rel_tol = 1e-6;
-  int max_newton = 100;
+  // Newton ceiling; precedence per util/budget.h: the loop runs at most
+  // capped_iterations(max_newton, budget->spec().max_newton_iter) iterations
+  // and raises BudgetError (instead of ConvergenceError) when the budget was
+  // the binding cap.
+  int max_newton = util::iter_defaults::newton;
+  // Cooperative execution budget (see util/budget.h): when set, the step
+  // loop charges every accepted time step against max_transient_steps and
+  // every step/Newton iteration checkpoints the deadline and cancel token,
+  // raising DeadlineError/BudgetError promptly instead of running the
+  // horizon out.  Null (default) costs one branch per checkpoint.
+  util::ExecTracker* budget = nullptr;
   double newton_damping_v = 0.6;  // max voltage change accepted per iteration [V]
   AssemblyMode assembly = AssemblyMode::cached;
   // Skip the banded solver even when the bandwidth is small (test/bench hook
   // for exercising the dense LU fallback on narrow decks).
   bool force_dense = false;
-  // Fault-injection hook for the property harness's self-test: scales every
-  // capacitor's companion conductance by (1 + skew) in the *cached*
-  // assembly path only, so any nonzero value breaks the cached==naive
-  // contract and must be caught by the equivalence oracles.  Never set this
-  // outside tests.
+  // Fault-injection hooks for the property/chaos harnesses (testkit/faults.h
+  // generalizes these into keyed per-slot fault plans).  Never set outside
+  // tests.
+  //   debug_cached_stamp_skew scales every capacitor's companion conductance
+  //   by (1 + skew) in the *cached* assembly path only, so any nonzero value
+  //   breaks the cached==naive contract and must be caught by the
+  //   equivalence oracles.
+  //   debug_cached_stamp_nan poisons the first capacitor's cached-path stamp
+  //   with NaN; the chaos oracles prove the simulator surfaces this as a
+  //   classified failure (the non-finite solution guard below) instead of a
+  //   hang or a silently-NaN waveform.
   double debug_cached_stamp_skew = 0.0;
+  bool debug_cached_stamp_nan = false;
 };
 
 // Simulation output: one sampled waveform per probed node.

@@ -1,0 +1,177 @@
+#include "testkit/faults.h"
+
+#include <chrono>
+#include <stdexcept>
+#include <string>
+#include <thread>
+
+#include "testkit/rng.h"
+
+namespace rlceff::testkit {
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::none: return "none";
+    case FaultKind::forced_nonconv: return "forced_nonconv";
+    case FaultKind::instant_deadline: return "instant_deadline";
+    case FaultKind::slowdown: return "slowdown";
+    case FaultKind::cancelled: return "cancelled";
+    case FaultKind::step_budget: return "step_budget";
+    case FaultKind::worker_throw: return "worker_throw";
+    case FaultKind::degraded_fallback: return "degraded_fallback";
+  }
+  return "none";
+}
+
+SlotFault FaultPlan::at(std::size_t slot) const {
+  Rng rng(mix_seed(seed_, 0xFA17, slot));
+  SlotFault fault;
+  if (!rng.chance(fault_fraction_)) return fault;
+  constexpr FaultKind kMenu[] = {
+      FaultKind::forced_nonconv, FaultKind::instant_deadline,
+      FaultKind::slowdown,       FaultKind::cancelled,
+      FaultKind::step_budget,    FaultKind::worker_throw,
+      FaultKind::degraded_fallback,
+  };
+  fault.kind = rng.pick(kMenu);
+  if (fault.kind == FaultKind::slowdown) {
+    // Deadline far above the per-chunk checkpoint spacing (so a cooperative
+    // exit is guaranteed by the first post-deadline checkpoint) yet far
+    // below the failsafe sleep, so a broken checkpoint is caught by the
+    // promptness bound instead of hanging the harness.
+    fault.deadline_s = 4e-3;
+    fault.chunk_s = 0.5e-3;
+    fault.max_sleep_s = 0.25;
+  }
+  return fault;
+}
+
+SlotFault FaultPlan::apply(std::size_t slot, api::Request& request) const {
+  const SlotFault fault = at(slot);
+  switch (fault.kind) {
+    case FaultKind::none:
+      break;
+    case FaultKind::forced_nonconv:
+      // A zero iteration ceiling means the fixed point returns its initial
+      // guess unconverged for *every* net — deterministic, unlike a small
+      // positive cap that easy instances could still satisfy.  Pin the flow
+      // to the plain one-ramp path: the downstream two-ramp/tail machinery
+      // evaluated at the bogus unconverged iterate can raise its own
+      // (legitimate) model_error first, which is not the surface under test.
+      request.model.iteration.max_iter = 0;
+      request.model.selection = core::ModelSelection::force_one_ramp;
+      request.model.shielding_tail = false;
+      request.require_convergence = true;
+      request.degrade = api::DegradePolicy{};
+      break;
+    case FaultKind::instant_deadline:
+      // Below any clock granularity: the very first checkpoint (at slot
+      // entry, before any modeling work) observes the deadline as expired.
+      request.budget.wall_limit_s = 1e-12;
+      request.degrade = api::DegradePolicy{};
+      break;
+    case FaultKind::slowdown:
+      request.budget.wall_limit_s = fault.deadline_s;
+      request.degrade = api::DegradePolicy{};
+      break;
+    case FaultKind::cancelled: {
+      // Cancelled before the slot starts — and with degradation *enabled*,
+      // because the contract under test is that cancellation never buys a
+      // degraded answer.
+      util::CancelToken token = util::CancelToken::source();
+      token.request_cancel();
+      request.budget.cancel = token;
+      request.degrade.enabled = true;
+      break;
+    }
+    case FaultKind::step_budget:
+      // The step budget only meters transient simulation, so force the
+      // reference path; any real deck runs well past this ceiling.
+      request.reference = true;
+      request.budget.max_transient_steps = 40;
+      request.degrade = api::DegradePolicy{};
+      break;
+    case FaultKind::worker_throw:
+      request.degrade = api::DegradePolicy{};
+      break;
+    case FaultKind::degraded_fallback:
+      request.budget.wall_limit_s = 1e-12;
+      request.degrade.enabled = true;
+      break;
+  }
+  return fault;
+}
+
+std::function<void(std::size_t, util::ExecTracker&)> FaultPlan::hook() const {
+  const FaultPlan plan = *this;
+  return [plan](std::size_t slot, util::ExecTracker& budget) {
+    const SlotFault fault = plan.at(slot);
+    switch (fault.kind) {
+      case FaultKind::worker_throw:
+        throw std::runtime_error("injected worker fault (slot " +
+                                 std::to_string(slot) + ")");
+      case FaultKind::slowdown: {
+        // A stalling worker that still checkpoints: the tracker must eject
+        // it by the first chunk boundary past the deadline.  The loop bound
+        // is a failsafe, not the exit path.
+        const int chunks =
+            static_cast<int>(fault.max_sleep_s / fault.chunk_s + 0.5);
+        for (int k = 0; k < chunks; ++k) {
+          std::this_thread::sleep_for(
+              std::chrono::duration<double>(fault.chunk_s));
+          budget.check("injected slowdown");
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  };
+}
+
+FaultExpectation expectation(const SlotFault& fault) {
+  FaultExpectation e;
+  switch (fault.kind) {
+    case FaultKind::none:
+      break;
+    case FaultKind::forced_nonconv:
+      e.must_fail = true;
+      e.code = api::ErrorCode::convergence_failure;
+      break;
+    case FaultKind::instant_deadline:
+      e.must_fail = true;
+      e.code = api::ErrorCode::deadline_exceeded;
+      e.message_needle = "deadline";
+      break;
+    case FaultKind::slowdown:
+      e.must_fail = true;
+      e.code = api::ErrorCode::deadline_exceeded;
+      e.message_needle = "deadline";
+      // One checkpoint interval past the deadline, plus generous scheduler
+      // slack — far below the failsafe sleep, so a non-cooperative stall is
+      // a detected failure rather than a slow pass.
+      e.max_elapsed_s = fault.deadline_s + fault.chunk_s + 0.15;
+      break;
+    case FaultKind::cancelled:
+      e.must_fail = true;
+      e.code = api::ErrorCode::deadline_exceeded;
+      e.message_needle = "cancelled";
+      break;
+    case FaultKind::step_budget:
+      e.must_fail = true;
+      e.code = api::ErrorCode::resource_exhausted;
+      e.message_needle = "step budget";
+      break;
+    case FaultKind::worker_throw:
+      e.must_fail = true;
+      e.code = api::ErrorCode::internal_error;
+      e.message_needle = "injected worker fault";
+      break;
+    case FaultKind::degraded_fallback:
+      e.expect_degraded = true;
+      break;
+  }
+  return e;
+}
+
+}  // namespace rlceff::testkit

@@ -1,0 +1,99 @@
+// Deterministic per-slot fault injection for the chaos harness.
+//
+// This generalizes the simulator's single planted defect
+// (sim::TransientOptions::debug_cached_stamp_skew) into a seeded menu of
+// failure modes the hardened engine must survive: forced non-convergence,
+// instant and creeping deadlines, pre-cancelled slots, exhausted step
+// budgets, worker exceptions, and deadline-triggered degradation.  (The NaN
+// stamp fault — sim::TransientOptions::debug_cached_stamp_nan, which must
+// trip the simulator's singular/non-finite guard — is a batch-level
+// simulator flag rather than a per-slot mutation, so it has its own oracle:
+// check_nan_stamp_fault in testkit/oracles.h.)
+//
+// A FaultPlan is a pure function of (seed, slot): the same plan assigns the
+// same fault to the same slot on every platform and at every thread count,
+// so a chaos batch's verdict is replayable from its seed alone.  Each fault
+// has two halves:
+//
+//   * apply()  mutates the slot's api::Request (budgets, cancellation,
+//              iteration caps, degrade policy) before the batch runs;
+//   * hook()   returns the api::BatchOptions::debug_slot_fault callback that
+//              misbehaves *inside* the slot (sleeping past the deadline in
+//              checkpointed chunks, throwing a foreign exception).
+//
+// expectation() states the contract each fault obliges the engine to meet —
+// must-fail code, required message fragment, promptness bound, or a
+// degraded-but-flagged success — which is what the chaos oracle checks.
+#ifndef RLCEFF_TESTKIT_FAULTS_H
+#define RLCEFF_TESTKIT_FAULTS_H
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+#include "api/outcome.h"
+#include "api/request.h"
+#include "util/budget.h"
+
+namespace rlceff::testkit {
+
+enum class FaultKind {
+  none,              // healthy slot: must be bitwise unaffected by neighbors
+  forced_nonconv,    // Ceff iteration cap 0: a clean convergence_failure
+  instant_deadline,  // wall limit below any clock granularity
+  slowdown,          // hook sleeps far past a short deadline, in chunks that
+                     // checkpoint the tracker: the slot must exit promptly
+  cancelled,         // pre-fired CancelToken (degrade enabled: must not help)
+  step_budget,       // reference run with a tiny transient step budget
+  worker_throw,      // hook throws a non-library exception inside the slot
+  degraded_fallback, // instant deadline + degrade policy: flagged fallback
+};
+
+const char* to_string(FaultKind kind);
+
+struct SlotFault {
+  FaultKind kind = FaultKind::none;
+  // slowdown timing: the armed wall limit, the hook's sleep quantum between
+  // tracker checkpoints, and the failsafe total sleep (reached only if the
+  // checkpoints stop working — long enough that the promptness bound trips).
+  double deadline_s = 0.0;
+  double chunk_s = 0.0;
+  double max_sleep_s = 0.0;
+};
+
+// What a fault obliges the engine to produce for its slot.
+struct FaultExpectation {
+  bool must_fail = false;
+  api::ErrorCode code = api::ErrorCode::internal_error;  // when must_fail
+  const char* message_needle = "";  // required failure-message substring
+  double max_elapsed_s = 0.0;       // > 0: promptness bound on the slot
+  bool expect_degraded = false;     // success flagged degraded, with an
+                                    // attempt trail led by deadline_exceeded
+};
+
+FaultExpectation expectation(const SlotFault& fault);
+
+// The seeded fault assignment for one batch.  Cheap value type; copy it into
+// the hook.
+class FaultPlan {
+public:
+  explicit FaultPlan(std::uint64_t seed, double fault_fraction = 0.6)
+      : seed_(seed), fault_fraction_(fault_fraction) {}
+
+  // The fault assigned to `slot` — pure in (seed, slot).
+  SlotFault at(std::size_t slot) const;
+
+  // Applies the request-mutation half of the slot's fault and returns it.
+  SlotFault apply(std::size_t slot, api::Request& request) const;
+
+  // The in-slot half, shaped for api::BatchOptions::debug_slot_fault.
+  std::function<void(std::size_t, util::ExecTracker&)> hook() const;
+
+private:
+  std::uint64_t seed_ = 0;
+  double fault_fraction_ = 0.6;
+};
+
+}  // namespace rlceff::testkit
+
+#endif  // RLCEFF_TESTKIT_FAULTS_H

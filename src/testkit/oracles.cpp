@@ -8,6 +8,7 @@
 
 #include "circuit/builders.h"
 #include "core/coupled_experiment.h"
+#include "testkit/faults.h"
 #include "moments/admittance.h"
 #include "sim/transient.h"
 #include "tech/testbench.h"
@@ -434,6 +435,153 @@ void check_batch_invariance(api::Engine& engine, std::vector<api::Request> reque
     expect_same_slot(serial[order[k]], shuffled[k],
                      "permutation invariance, slot '" + permuted[k].label + "'");
   }
+}
+
+void check_chaos_batch(api::Engine& engine, std::uint64_t seed,
+                       const api::BatchOptions& options, std::size_t slots) {
+  expect(slots >= 1, "chaos batch needs at least one slot");
+  Rng rng(seed);
+  std::vector<api::Request> clean;
+  clean.reserve(slots);
+  for (std::size_t k = 0; k < slots; ++k) {
+    api::Request request = random_request(rng);
+    request.label += "-x" + std::to_string(k);
+    clean.push_back(std::move(request));
+  }
+
+  api::BatchOptions serial = options;
+  serial.n_threads = 1;
+  serial.debug_slot_fault = nullptr;
+  const std::vector<api::Outcome<api::Response>> baseline =
+      engine.run_batch(clean, serial);
+
+  const FaultPlan plan(seed);
+  std::vector<api::Request> faulted = clean;
+  std::vector<SlotFault> faults(slots);
+  for (std::size_t k = 0; k < slots; ++k) faults[k] = plan.apply(k, faulted[k]);
+
+  api::BatchOptions chaos_serial = serial;
+  chaos_serial.debug_slot_fault = plan.hook();
+  api::BatchOptions chaos_wide = chaos_serial;
+  chaos_wide.n_threads = 4;
+  const std::vector<api::Outcome<api::Response>> narrow =
+      engine.run_batch(faulted, chaos_serial);
+  const std::vector<api::Outcome<api::Response>> wide =
+      engine.run_batch(faulted, chaos_wide);
+
+  auto same_slot = [&](const api::Outcome<api::Response>& a,
+                       const api::Outcome<api::Response>& b,
+                       const std::string& what) {
+    expect(a.ok() == b.ok(), what + ": ok flags differ");
+    if (!a.ok()) {
+      expect(a.error().code == b.error().code,
+             what + ": error codes differ (" +
+                 std::string(api::to_string(a.error().code)) + " vs " +
+                 api::to_string(b.error().code) + ")");
+      return;
+    }
+    expect(a.value().model_near.delay == b.value().model_near.delay &&
+               a.value().model_near.slew == b.value().model_near.slew &&
+               a.value().model.ceff1.ceff == b.value().model.ceff1.ceff &&
+               a.value().fidelity == b.value().fidelity &&
+               a.value().degraded == b.value().degraded &&
+               a.value().attempts.size() == b.value().attempts.size(),
+           what + ": results differ bitwise");
+  };
+
+  auto check_contract = [&](const SlotFault& fault, const api::Request& request,
+                            const api::Outcome<api::Response>& outcome,
+                            const api::Outcome<api::Response>& base,
+                            const std::string& what) {
+    const FaultExpectation e = expectation(fault);
+    if (e.must_fail) {
+      expect(!outcome.ok(), what + ": expected a failed outcome, got success");
+      const api::ErrorInfo& err = outcome.error();
+      // A slot that fails even unfaulted may surface its own (structured)
+      // failure before the injected one bites — e.g. a model_error raised
+      // ahead of a forced non-convergence or of the reference sim's step
+      // budget.  The injected code is only owed by otherwise-healthy slots.
+      if (!base.ok() && err.code == base.error().code) return;
+      expect(err.code == e.code,
+             what + ": expected " + std::string(api::to_string(e.code)) +
+                 ", got " + api::to_string(err.code) + " (" + err.message + ")");
+      if (*e.message_needle != '\0') {
+        expect(err.message.find(e.message_needle) != std::string::npos,
+               what + ": message '" + err.message + "' lacks '" +
+                   e.message_needle + "'");
+      }
+      if (e.max_elapsed_s > 0.0) {
+        expect(err.elapsed_s <= e.max_elapsed_s,
+               what + ": slot exited after " + fmt(err.elapsed_s) +
+                   " s, promptness bound " + fmt(e.max_elapsed_s) + " s");
+      }
+      return;
+    }
+    if (!e.expect_degraded) return;
+    expect(outcome.ok(),
+           what + ": expected a degraded success, got failure" +
+               (outcome.ok() ? std::string()
+                             : std::string(" [") +
+                                   api::to_string(outcome.error().code) +
+                                   "]: " + outcome.error().message));
+    const api::Response& r = outcome.value();
+    expect(r.degraded, what + ": fallback answer not flagged degraded");
+    expect(r.fidelity == api::Fidelity::moments_only,
+           what + ": degraded model-only request must land on the moments floor");
+    expect(!r.attempts.empty() &&
+               r.attempts.front().code == api::ErrorCode::deadline_exceeded,
+           what + ": attempt trail does not lead with deadline_exceeded");
+    // The floor's documented envelope: the cell table evaluated at Ctotal —
+    // a converged zero-iteration one-ramp answer with finite metrics.
+    expect(r.model.kind == core::ModelKind::one_ramp && r.model.ceff1.converged &&
+               r.model.ceff1.iterations == 0,
+           what + ": floor answer is not the zero-iteration one-ramp estimate");
+    if (!request.coupled()) {
+      expect(r.model.ceff1.ceff == request.net.total_capacitance(),
+             what + ": floor Ceff is not the net's total capacitance");
+    }
+    expect(std::isfinite(r.model_near.delay) && r.model_near.slew > 0.0,
+           what + ": degraded answer has non-finite metrics");
+  };
+
+  for (std::size_t k = 0; k < slots; ++k) {
+    const SlotFault& fault = faults[k];
+    const std::string where = "chaos slot " + std::to_string(k) + " [" +
+                              std::string(to_string(fault.kind)) + "]";
+    if (fault.kind == FaultKind::none) {
+      // Healthy slots must be bitwise unaffected by their faulty neighbors,
+      // at any thread count.
+      same_slot(baseline[k], narrow[k], where + " vs baseline (serial)");
+      same_slot(baseline[k], wide[k], where + " vs baseline (wide)");
+    } else {
+      check_contract(fault, faulted[k], narrow[k], baseline[k], where + " (serial)");
+      check_contract(fault, faulted[k], wide[k], baseline[k], where + " (wide)");
+      same_slot(narrow[k], wide[k], where + " serial vs wide");
+    }
+  }
+}
+
+void check_nan_stamp_fault(const net::Net& net, Rng rng,
+                           const OracleOptions& options) {
+  const double input_slew = rng.uniform(25 * ps, 300 * ps);
+  tech::DeckOptions deck = equivalence_deck(options, short_horizon(net, input_slew));
+  deck.sim.assembly = sim::AssemblyMode::cached;
+  const wave::Pwl source = wave::ramp(10 * ps, input_slew, 0.0, 1.8);
+
+  // The unpoisoned deck must simulate cleanly: this oracle tests the guard,
+  // not the instance.
+  tech::simulate_source_net(source, net, deck);
+
+  deck.sim.debug_cached_stamp_nan = true;
+  bool caught = false;
+  try {
+    tech::simulate_source_net(source, net, deck);
+  } catch (const SingularMatrixError&) {
+    caught = true;
+  }
+  expect(caught,
+         "NaN-poisoned cached stamp escaped: the simulator returned waveforms "
+         "instead of raising SingularMatrixError");
 }
 
 void check_group_invariants(const net::CoupledGroup& group, std::size_t victim,

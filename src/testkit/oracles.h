@@ -111,6 +111,29 @@ void check_miller_envelope(const tech::Technology& technology,
 // label).  This is the oracle that hunts wrong-index validation messages.
 void check_validation_reporting(Rng rng);
 
+// Chaos batch (testkit/faults.h): builds `slots` random requests, runs the
+// clean batch as a baseline, then runs the fault-injected batch serially and
+// wide and requires the hardened engine's full contract:
+//   * healthy slots are bitwise identical to the baseline at any thread
+//     count — faulty neighbors leak nothing;
+//   * every injected fault surfaces exactly its expected ErrorCode (and
+//     message fragment), or — for deadline faults under a degrade policy —
+//     a successful Response flagged degraded with its attempt trail;
+//   * deadline slots exit within one checkpoint interval plus slack
+//     (ErrorInfo::elapsed_s), never riding out a stalled worker;
+//   * verdicts and degraded values agree between the serial and wide runs.
+void check_chaos_batch(api::Engine& engine, std::uint64_t seed,
+                       const api::BatchOptions& options, std::size_t slots = 6);
+
+// Fault-injection self-test of the simulator's non-finite-solution guard:
+// poisons the cached-path stamp of the net's first capacitor
+// (sim::TransientOptions::debug_cached_stamp_nan) on a source-driven linear
+// deck — the path with no Newton loop to fail first — and requires the run
+// to raise SingularMatrixError instead of returning silently poisoned
+// waveforms.  The unpoisoned deck must simulate cleanly first.
+void check_nan_stamp_fault(const net::Net& net, Rng rng,
+                           const OracleOptions& options);
+
 }  // namespace rlceff::testkit
 
 #endif  // RLCEFF_TESTKIT_ORACLES_H

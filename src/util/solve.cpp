@@ -20,7 +20,10 @@ double brent(const std::function<double(double)>& f, double a, double b,
   double d = b - a;
   double e = d;
 
-  for (int iter = 0; iter < opt.max_iter; ++iter) {
+  const int max_iter = capped_iterations(
+      opt.max_iter, opt.budget ? opt.budget->spec().max_solver_iter : 0);
+  for (int iter = 0; iter < max_iter; ++iter) {
+    if (opt.budget) opt.budget->check("brent");
     if (std::abs(fc) < std::abs(fb)) {
       a = b;
       b = c;
@@ -72,6 +75,10 @@ double brent(const std::function<double(double)>& f, double a, double b,
       e = d;
     }
   }
+  if (max_iter < opt.max_iter) {
+    throw BudgetError("brent: iteration budget of " + std::to_string(max_iter) +
+                      " exhausted");
+  }
   throw ConvergenceError("brent: too many iterations");
 }
 
@@ -79,7 +86,10 @@ FixedPointResult fixed_point(const std::function<double(double)>& g, double x0,
                              const FixedPointOptions& opt) {
   FixedPointResult res;
   double x = std::clamp(x0, opt.lower, opt.upper);
-  for (int iter = 1; iter <= opt.max_iter; ++iter) {
+  const int max_iter = capped_iterations(
+      opt.max_iter, opt.budget ? opt.budget->spec().max_solver_iter : 0);
+  for (int iter = 1; iter <= max_iter; ++iter) {
+    if (opt.budget) opt.budget->check("fixed_point");
     const double gx = g(x);
     double x_new = x + opt.damping * (gx - x);
     x_new = std::clamp(x_new, opt.lower, opt.upper);
@@ -91,6 +101,10 @@ FixedPointResult fixed_point(const std::function<double(double)>& g, double x0,
       return res;
     }
     x = x_new;
+  }
+  if (max_iter < opt.max_iter) {
+    throw BudgetError("fixed_point: iteration budget of " +
+                      std::to_string(max_iter) + " exhausted");
   }
   res.x = x;
   res.converged = false;

@@ -2,17 +2,30 @@
 //
 // brent() finds a bracketed root; fixed_point() runs the damped iteration
 // used by the Ceff <-> cell-table loops of Sections 4.1/4.2.
+//
+// Iteration ceilings: max_iter defaults come from util/budget.h's
+// iter_defaults so every loop in the library shares one vocabulary.  When
+// `budget` is set, each iteration calls ExecTracker::check() (deadline /
+// cancellation) and the loop runs at most
+//   capped_iterations(max_iter, budget->spec().max_solver_iter)
+// iterations.  Precedence when the loop runs dry: if the *budget* was the
+// binding cap the solver raises BudgetError; if the per-call max_iter was
+// binding the historical behavior is kept (brent throws ConvergenceError,
+// fixed_point returns converged = false).
 #ifndef RLCEFF_UTIL_SOLVE_H
 #define RLCEFF_UTIL_SOLVE_H
 
 #include <functional>
+
+#include "util/budget.h"
 
 namespace rlceff::util {
 
 struct SolveOptions {
   double x_tol = 1e-12;
   double f_tol = 1e-14;
-  int max_iter = 200;
+  int max_iter = iter_defaults::brent;
+  ExecTracker* budget = nullptr;  // optional cooperative budget (see header)
 };
 
 // Root of f on [a, b]; f(a) and f(b) must have opposite signs.
@@ -22,9 +35,10 @@ double brent(const std::function<double(double)>& f, double a, double b,
 struct FixedPointOptions {
   double rel_tol = 1e-9;     // convergence on |x_new - x| / max(|x_new|, floor)
   double damping = 1.0;      // x <- x + damping * (g(x) - x)
-  int max_iter = 100;
+  int max_iter = iter_defaults::fixed_point;
   double lower = -1e300;     // clamp applied after each update
   double upper = 1e300;
+  ExecTracker* budget = nullptr;  // optional cooperative budget (see header)
 };
 
 struct FixedPointResult {
@@ -36,6 +50,7 @@ struct FixedPointResult {
 // Damped fixed-point iteration x <- g(x) starting from x0, clamped to
 // [lower, upper].  Returns the last iterate with a convergence flag rather
 // than throwing: Ceff loops treat slow convergence as "use the last value".
+// (Exception: a binding budget sub-cap raises BudgetError, see above.)
 FixedPointResult fixed_point(const std::function<double(double)>& g, double x0,
                              const FixedPointOptions& opt = {});
 

@@ -267,6 +267,159 @@ TEST_F(EngineFixture, CoupledRequestsModelAndIsolatePerSlot) {
   EXPECT_EQ(ErrorCode::invalid_request, rejected.error().code);
 }
 
+TEST(OutcomeTaxonomy, BudgetErrorsClassifyToTheirCodes) {
+  EXPECT_STREQ("deadline_exceeded", to_string(ErrorCode::deadline_exceeded));
+  EXPECT_STREQ("resource_exhausted", to_string(ErrorCode::resource_exhausted));
+  EXPECT_EQ(ErrorCode::deadline_exceeded,
+            describe_failure(std::make_exception_ptr(DeadlineError("late")), "s").code);
+  // CancelledError is-a DeadlineError: same code, distinguishable message.
+  EXPECT_EQ(ErrorCode::deadline_exceeded,
+            describe_failure(std::make_exception_ptr(CancelledError("stop")), "s").code);
+  EXPECT_EQ(ErrorCode::resource_exhausted,
+            describe_failure(std::make_exception_ptr(BudgetError("spent")), "s").code);
+}
+
+TEST_F(EngineFixture, BatchIsolatesDeadlineSlot) {
+  // The doomed slot's sub-nanosecond deadline expires at its very first
+  // checkpoint; the N-1 healthy neighbors must come back bitwise identical
+  // to a deadline-free run.
+  std::vector<Request> requests;
+  requests.push_back(inductive_request("good-0"));
+  requests.push_back(inductive_request("doomed-1"));
+  requests[1].budget.wall_limit_s = 1e-12;
+  requests.push_back(inductive_request("good-2"));
+
+  const std::vector<Outcome<Response>> results =
+      engine_->run_batch(requests, fast_options());
+  ASSERT_EQ(3u, results.size());
+
+  ASSERT_FALSE(results[1].ok());
+  EXPECT_EQ(ErrorCode::deadline_exceeded, results[1].error().code);
+  EXPECT_EQ("doomed-1", results[1].error().scenario);
+  EXPECT_NE(std::string::npos, results[1].error().message.find("deadline"))
+      << results[1].error().message;
+  // The failure reports how long the slot actually ran — promptly.
+  EXPECT_GE(results[1].error().elapsed_s, 0.0);
+  EXPECT_LT(results[1].error().elapsed_s, 1.0);
+
+  const Response clean =
+      engine_->model(inductive_request("clean"), fast_options()).value();
+  for (const std::size_t k : {std::size_t{0}, std::size_t{2}}) {
+    ASSERT_TRUE(results[k].ok()) << "slot " << k;
+    EXPECT_DOUBLE_EQ(clean.model_near.delay, results[k].value().model_near.delay);
+    EXPECT_DOUBLE_EQ(clean.model_near.slew, results[k].value().model_near.slew);
+    EXPECT_DOUBLE_EQ(clean.model.ceff1.ceff, results[k].value().model.ceff1.ceff);
+    EXPECT_FALSE(results[k].value().degraded);
+  }
+}
+
+TEST_F(EngineFixture, UnwrapNamesDeadlineCode) {
+  Request req = inductive_request("late-slot");
+  req.budget.wall_limit_s = 1e-12;
+  const Outcome<Response> outcome = engine_->model(req, fast_options());
+  ASSERT_FALSE(outcome.ok());
+  try {
+    (void)outcome.value();
+    FAIL() << "value() on a deadline-failed outcome must throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string::npos, std::string(e.what()).find("late-slot")) << e.what();
+    EXPECT_NE(std::string::npos, std::string(e.what()).find("deadline_exceeded"))
+        << e.what();
+  }
+}
+
+TEST_F(EngineFixture, StepBudgetExhaustionIsResourceExhausted) {
+  Request req = inductive_request("step-starved");
+  req.reference = true;
+  req.budget.max_transient_steps = 16;
+  const Outcome<Response> outcome = engine_->model(req, fast_options());
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(ErrorCode::resource_exhausted, outcome.error().code);
+  EXPECT_NE(std::string::npos, outcome.error().message.find("step budget"))
+      << outcome.error().message;
+}
+
+TEST_F(EngineFixture, CancelledSlotFailsAndNeverDegrades) {
+  Request req = inductive_request("cancelled");
+  util::CancelToken token = util::CancelToken::source();
+  token.request_cancel();
+  req.budget.cancel = token;
+  req.degrade.enabled = true;  // must not buy the cancelled slot an answer
+  const Outcome<Response> outcome = engine_->model(req, fast_options());
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(ErrorCode::deadline_exceeded, outcome.error().code);
+  EXPECT_NE(std::string::npos, outcome.error().message.find("cancelled"))
+      << outcome.error().message;
+}
+
+TEST_F(EngineFixture, DegradeLadderFallsToCeffModelThenMomentsFloor) {
+  const Response plain =
+      engine_->model(inductive_request("plain"), fast_options()).value();
+
+  // Tier 2: a step-starved reference request falls back to the table-driven
+  // Ceff model — flagged degraded, bitwise equal to the plain model answer.
+  Request ref = inductive_request("degraded-ref");
+  ref.reference = true;
+  ref.budget.max_transient_steps = 16;
+  ref.degrade.enabled = true;
+  const Outcome<Response> tier2 = engine_->model(ref, fast_options());
+  ASSERT_TRUE(tier2.ok());
+  const Response& r2 = tier2.value();
+  EXPECT_TRUE(r2.degraded);
+  EXPECT_EQ(Fidelity::ceff_model, r2.fidelity);
+  EXPECT_FALSE(r2.has_reference);
+  ASSERT_FALSE(r2.attempts.empty());
+  EXPECT_EQ(Fidelity::reference, r2.attempts.front().fidelity);
+  EXPECT_EQ(ErrorCode::resource_exhausted, r2.attempts.front().code);
+  EXPECT_DOUBLE_EQ(plain.model_near.delay, r2.model_near.delay);
+  EXPECT_DOUBLE_EQ(plain.model.ceff1.ceff, r2.model.ceff1.ceff);
+
+  // The floor: an instant deadline on a model-only request lands on the
+  // moments-only estimate — the cell table at Ctotal, one-ramp, degraded.
+  Request floored = inductive_request("floored");
+  floored.budget.wall_limit_s = 1e-12;
+  floored.degrade.enabled = true;
+  const Outcome<Response> tier3 = engine_->model(floored, fast_options());
+  ASSERT_TRUE(tier3.ok());
+  const Response& r3 = tier3.value();
+  EXPECT_TRUE(r3.degraded);
+  EXPECT_EQ(Fidelity::moments_only, r3.fidelity);
+  EXPECT_EQ(core::ModelKind::one_ramp, r3.model.kind);
+  EXPECT_DOUBLE_EQ(inductive_net().total_capacitance(), r3.model.ceff1.ceff);
+  ASSERT_FALSE(r3.attempts.empty());
+  EXPECT_EQ(ErrorCode::deadline_exceeded, r3.attempts.front().code);
+  // Documented envelope: Ceff <= Ctotal and monotone tables make the floor
+  // an upper bound on the Ceff-model delay.
+  EXPECT_GE(r3.model_near.delay, plain.model_near.delay - 1e-15);
+}
+
+TEST_F(EngineFixture, DampedRetryRescuesConvergenceFailure) {
+  // An over-relaxed fixed point (damping 6.0) diverges into a bound-clamped oscillation instead of
+  // converging; without a policy that is a convergence_failure.
+  Request req = inductive_request("over-relaxed");
+  req.model.iteration.damping = 6.0;
+  const Outcome<Response> plain = engine_->model(req, fast_options());
+  ASSERT_FALSE(plain.ok());
+  EXPECT_EQ(ErrorCode::convergence_failure, plain.error().code);
+
+  // With the policy, one damped retry converges: a full-fidelity,
+  // non-degraded answer whose attempt trail records the first try.  The
+  // retry damping is pinned to 1.0 — the plain fixed point is known to
+  // converge for this net, while the default 0.5 under-relaxes the Ceff2
+  // iteration past its cap here.
+  Request rescued = req;
+  rescued.degrade.enabled = true;
+  rescued.degrade.retry_damping = 1.0;
+  const Outcome<Response> outcome = engine_->model(rescued, fast_options());
+  ASSERT_TRUE(outcome.ok());
+  const Response& r = outcome.value();
+  EXPECT_FALSE(r.degraded);
+  EXPECT_EQ(Fidelity::ceff_model, r.fidelity);
+  EXPECT_TRUE(r.model.ceff1.converged);
+  ASSERT_EQ(1u, r.attempts.size());
+  EXPECT_EQ(ErrorCode::convergence_failure, r.attempts.front().code);
+}
+
 TEST(EngineCache, CharacterizationFailureIsReportedPerSlot) {
   // An unusable grid makes characterization itself throw.  run_batch must
   // not propagate that: every slot needing the size carries the error (and

@@ -374,6 +374,56 @@ TEST(PropertySuite, BatchInvariance) {
              });
 }
 
+// Chaos batches run low-fidelity reference decks: step_budget fault slots
+// start (budget-stopped) transient sims, which must stay cheap at 200
+// instances.
+api::BatchOptions chaos_batch_options() {
+  api::BatchOptions options = property_batch_options();
+  options.deck.segments = 12;
+  options.deck.dt = 1 * ps;
+  return options;
+}
+
+TEST(PropertySuite, ChaosBatch) {
+  shared_engine();
+  constexpr std::size_t kChaosSlots = 6;
+  run_family(
+      "chaos_batch", 200, kChaosSlots, [](std::uint64_t seed) -> std::string {
+        auto failure_of = [&](std::size_t slots) -> std::optional<std::string> {
+          try {
+            check_chaos_batch(shared_engine(), seed, chaos_batch_options(), slots);
+            return std::nullopt;
+          } catch (const Error& e) {
+            return std::string(e.what());
+          }
+        };
+        std::optional<std::string> first = failure_of(kChaosSlots);
+        if (!first.has_value()) return {};
+        // Shrink by truncation: faults are keyed on (seed, slot) and the
+        // requests are drawn in slot order, so a shorter batch is a strict
+        // prefix of the failing one.  Keep the shortest prefix that fails.
+        std::size_t slots = kChaosSlots;
+        std::string error = std::move(*first);
+        for (std::size_t n = 1; n < kChaosSlots; ++n) {
+          if (std::optional<std::string> message = failure_of(n)) {
+            slots = n;
+            error = std::move(*message);
+            break;
+          }
+        }
+        return report("chaos_batch", seed,
+                      std::to_string(slots) + "-slot chaos batch", error, nullptr);
+      });
+}
+
+TEST(PropertySuite, NanStampGuard) {
+  run_family("nan_stamp_guard", 60, 1, [](std::uint64_t seed) {
+    return run_net_instance("nan_stamp_guard", seed, [](const net::Net& net, Rng rng) {
+      check_nan_stamp_fault(net, rng, OracleOptions{});
+    });
+  });
+}
+
 TEST(PropertySuite, MillerEnvelope) {
   shared_engine();
   run_family("miller_envelope", 10, 1, [](std::uint64_t seed) {

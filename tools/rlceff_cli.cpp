@@ -55,6 +55,14 @@
 //     --threads <n>      sweep pool width (default: hardware concurrency)
 //     --json             machine-readable output (per-net delay/slew/noise
 //                        and error slots) instead of the text table
+//     --deadline-ms <t>  per-net wall-clock budget; a net that exceeds it
+//                        fails with error code deadline_exceeded (exit 2)
+//     --max-steps <n>    per-net transient step budget (reference runs);
+//                        exhaustion fails the net with resource_exhausted
+//     --degrade          instead of failing, budget-exhausted nets fall down
+//                        the fidelity ladder (Ceff model, then the moments-
+//                        only floor); degraded slots are flagged in the
+//                        output and do not count as failures
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -82,15 +90,21 @@ struct CliOptions {
   bool small_grid = false;
   bool reference = false;
   bool json = false;
+  bool degrade = false;
+  double deadline_ms = 0.0;      // <= 0: unlimited
+  long long max_steps = 0;       // <= 0: unlimited
   unsigned n_threads = 0;
 };
 
 void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--library <path>] [--grid small|standard] "
-               "[--reference] [--threads <n>] [--json] <deck-file>\n",
+               "[--reference] [--threads <n>] [--json] [--deadline-ms <t>] "
+               "[--max-steps <n>] [--degrade] <deck-file>\n",
                argv0);
 }
+
+bool parse_number(const std::string& token, double& out);
 
 bool parse_args(int argc, char** argv, CliOptions& opt) {
   for (int k = 1; k < argc; ++k) {
@@ -117,6 +131,22 @@ bool parse_args(int argc, char** argv, CliOptions& opt) {
       const char* v = next();
       if (v == nullptr) return false;
       opt.n_threads = static_cast<unsigned>(std::atoi(v));
+    } else if (arg == "--deadline-ms") {
+      const char* v = next();
+      if (v == nullptr || !parse_number(v, opt.deadline_ms) || opt.deadline_ms <= 0.0) {
+        std::fprintf(stderr, "--deadline-ms needs a positive number\n");
+        return false;
+      }
+    } else if (arg == "--max-steps") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opt.max_steps = std::atoll(v);
+      if (opt.max_steps <= 0) {
+        std::fprintf(stderr, "--max-steps needs a positive integer\n");
+        return false;
+      }
+    } else if (arg == "--degrade") {
+      opt.degrade = true;
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
       return false;
@@ -496,14 +526,17 @@ void print_json(const CliOptions& cli, const std::vector<DeckNet>& slots,
       const api::ErrorInfo& e = results[k].error();
       const std::string& message =
           build_errors[k].empty() ? e.message : build_errors[k];
-      std::printf("\"ok\": false, \"error\": {\"code\": \"%s\", \"message\": \"%s\"}}",
-                  api::to_string(e.code), json_escape(message).c_str());
+      std::printf("\"ok\": false, \"error_code\": \"%s\", "
+                  "\"error\": {\"code\": \"%s\", \"message\": \"%s\"}}",
+                  api::to_string(e.code), api::to_string(e.code),
+                  json_escape(message).c_str());
       continue;
     }
     const api::Response& r = results[k].value();
-    std::printf("\"ok\": true, \"model\": \"%s\", \"delay_ps\": %.4f, "
-                "\"slew_ps\": %.4f",
-                kind_name(r.model.kind), r.model_near.delay / ps,
+    std::printf("\"ok\": true, \"model\": \"%s\", \"fidelity\": \"%s\", "
+                "\"degraded\": %s, \"delay_ps\": %.4f, \"slew_ps\": %.4f",
+                kind_name(r.model.kind), api::to_string(r.fidelity),
+                r.degraded ? "true" : "false", r.model_near.delay / ps,
                 r.model_near.slew / ps);
     if (r.has_coupling) {
       std::printf(", \"coupled\": true, \"delay_pushout_model_ps\": %.4f",
@@ -649,6 +682,9 @@ int main(int argc, char** argv) {
     r.input_slew = net.slew_ps * ps;
     r.reference = cli.reference;
     r.far_end = false;
+    r.budget.wall_limit_s = cli.deadline_ms * 1e-3;
+    r.budget.max_transient_steps = cli.max_steps;
+    r.degrade.enabled = cli.degrade;
     std::string build_error;
     try {
       if (component[k] == static_cast<std::size_t>(-1)) {
@@ -734,6 +770,11 @@ int main(int argc, char** argv) {
         std::printf("%-12s %-9s %11.2f %11.2f\n", r.label.c_str(),
                     kind_name(r.model.kind), r.model_near.delay / ps,
                     r.model_near.slew / ps);
+      }
+      if (r.degraded) {
+        std::printf("#   %s: degraded to %s after %zu abandoned attempt(s)\n",
+                    r.label.c_str(), api::to_string(r.fidelity),
+                    r.attempts.size());
       }
       if (r.has_coupling) {
         std::printf("#   %s: coupled victim, model pushout %+.2f ps",
