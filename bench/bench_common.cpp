@@ -152,9 +152,9 @@ bool parse_metric_line(const std::string& line, BenchMetric& out) {
 
 }  // namespace
 
-void update_accuracy_json(const std::string& section,
-                          const std::vector<BenchMetric>& metrics,
-                          const std::string& path) {
+void update_bench_json(const std::string& path, const std::string& bench_name,
+                       const std::string& section,
+                       const std::vector<BenchMetric>& metrics) {
   const std::string prefix = section + ".";
   std::vector<BenchMetric> merged;
   {
@@ -167,7 +167,7 @@ void update_accuracy_json(const std::string& section,
       } else if (line.find("\"name\"") != std::string::npos) {
         // A metric-looking line we cannot round-trip would be silently lost
         // by the rewrite below; make the drop visible.
-        std::fprintf(stderr, "update_accuracy_json: dropping unparseable metric "
+        std::fprintf(stderr, "update_bench_json: dropping unparseable metric "
                              "line in %s: %s\n",
                      path.c_str(), line.c_str());
       }
@@ -177,13 +177,19 @@ void update_accuracy_json(const std::string& section,
     merged.push_back({prefix + m.name, m.value, m.unit});
   }
   // Write-then-rename so a reader never sees a half-written file.  (The
-  // read-modify-write itself is not locked: run accuracy benches
+  // read-modify-write itself is not locked: run the sharing benches
   // sequentially, as CI does, or concurrent writers can drop each other's
   // sections.)
   const std::string tmp = path + ".tmp";
-  write_bench_json(tmp, "accuracy", merged);
+  write_bench_json(tmp, bench_name, merged);
   ensure(std::rename(tmp.c_str(), path.c_str()) == 0,
-         "update_accuracy_json: rename failed");
+         "update_bench_json: rename failed");
+}
+
+void update_accuracy_json(const std::string& section,
+                          const std::vector<BenchMetric>& metrics,
+                          const std::string& path) {
+  update_bench_json(path, "accuracy", section, metrics);
 }
 
 std::vector<BenchMetric> error_metrics(const std::string& column,

@@ -58,11 +58,17 @@ struct BenchMetric {
 void write_bench_json(const std::string& path, const std::string& bench_name,
                       const std::vector<BenchMetric>& metrics);
 
+// Section-merging variant of write_bench_json: each metric is stored as
+// "<section>.<name>"; re-running a bench replaces its own section and leaves
+// every other metric — prefixed by another section or written unprefixed by
+// an overwriting bench — untouched, so a trajectory file shared by several
+// binaries survives partial reruns.
+void update_bench_json(const std::string& path, const std::string& bench_name,
+                       const std::string& section,
+                       const std::vector<BenchMetric>& metrics);
+
 // Accumulates accuracy metrics from several bench binaries into one
-// BENCH_accuracy.json (same schema as write_bench_json, bench name
-// "accuracy").  Each metric is stored as "<section>.<name>"; re-running a
-// bench replaces its own section and leaves the others untouched, so the
-// accuracy trajectory survives partial reruns.
+// BENCH_accuracy.json (update_bench_json with bench name "accuracy").
 void update_accuracy_json(const std::string& section,
                           const std::vector<BenchMetric>& metrics,
                           const std::string& path = "BENCH_accuracy.json");

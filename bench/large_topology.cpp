@@ -1,0 +1,282 @@
+// Large-topology scaling benchmark for the solver-selection layer: the
+// workloads the dense path cannot serve.
+//
+//   * A 10k-sink clock tree (fanout-10 root, balanced binary subtrees,
+//     ~41k MNA unknowns).  The dense Jacobian alone would be ~13 GB, so this
+//     deck is only feasible on the sparse backend; we record its ns/step to
+//     pin the sparse path's scaling on the record.
+//   * A 64-net coupled bus (capacitive + inductive coupling between
+//     neighbors, ~1.2k unknowns).  Small enough that the dense and banded
+//     backends still run, so this is where the sparse-vs-dense speedup claim
+//     is measured head to head: the deck is linear (source-driven), every
+//     backend factors once, and the per-step cost is one substitution —
+//     O(n^2) dense versus O(nnz(LU)) sparse.
+//
+// Also audits the automatic selection heuristic over a small portfolio of
+// decks (tree, bus, long single line, tiny pi load, all-to-all short bus)
+// and records how many picked each backend.  Results merge into BENCH_perf.json under the
+// "large_topology." section (perf_model_vs_spice owns the unprefixed
+// metrics; CI runs it first, then this bench — see update_bench_json).
+//
+// --smoke trims the tree depth and the horizons for CI; the bus keeps its
+// full 64 nets so the speedup metric stays representative.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "circuit/builders.h"
+#include "circuit/mna.h"
+#include "circuit/netlist.h"
+#include "net/coupled.h"
+#include "net/net.h"
+#include "sim/transient.h"
+#include "util/units.h"
+#include "waveform/pwl.h"
+
+using namespace rlceff;
+using namespace rlceff::units;
+
+namespace {
+
+// ------------------------------------------------------------- workloads ---
+
+// A balanced binary clock subtree with `levels` branch levels; leaves carry a
+// sink load.  Wire numbers are per-segment H-tree-ish values: short stubs
+// with a few ohms and femtofarads each.
+net::Branch clock_subtree(int levels) {
+  net::Branch b;
+  net::Section s;
+  s.resistance = 10.0 * ohm;
+  s.inductance = 0.02 * nh;
+  s.capacitance = 5.0 * ff;
+  b.sections.push_back(s);
+  if (levels <= 1) {
+    b.c_load = 3.0 * ff;
+    return b;
+  }
+  b.children.push_back(clock_subtree(levels - 1));
+  b.children.push_back(clock_subtree(levels - 1));
+  return b;
+}
+
+// Fanout-10 trunk feeding ten balanced binary subtrees: levels = 11 gives
+// 10 * 2^10 = 10240 sinks.
+net::Net clock_tree(int levels) {
+  net::Branch root;
+  net::Section trunk;
+  trunk.resistance = 5.0 * ohm;
+  trunk.inductance = 0.05 * nh;
+  trunk.capacitance = 20.0 * ff;
+  root.sections.push_back(trunk);
+  for (int k = 0; k < 10; ++k) root.children.push_back(clock_subtree(levels));
+  return net::Net(root);
+}
+
+// 64 parallel bus lines, every adjacent pair coupled capacitively and
+// inductively over the full overlap.
+net::CoupledGroup bus_group(std::size_t nets) {
+  net::CoupledGroup group;
+  for (std::size_t k = 0; k < nets; ++k) {
+    group.add_net(net::Net::uniform_line(200.0 * ohm, 2.0 * nh, 300.0 * ff, 20.0 * ff),
+                  "bus" + std::to_string(k));
+  }
+  for (std::size_t k = 0; k + 1 < nets; ++k) {
+    group.couple_capacitance({k, 0}, {k + 1, 0}, 100.0 * ff);
+    group.couple_inductance({k, 0}, {k + 1, 0}, 0.25);
+  }
+  return group;
+}
+
+struct Deck {
+  ckt::Netlist netlist;
+  std::vector<ckt::NodeId> probes;
+};
+
+Deck tree_deck(int levels) {
+  Deck deck;
+  const ckt::NodeId src = deck.netlist.node("src");
+  deck.netlist.add_vsource(src, ckt::ground,
+                           wave::Pwl({{10.0 * ps, 0.0}, {110.0 * ps, 1.8}}));
+  const ckt::NetDeckNodes nodes =
+      ckt::append_net(deck.netlist, src, clock_tree(levels), 1);
+  // Probe only the root and one representative sink: recording all ~10k leaf
+  // waveforms would cost more memory than the sparse factorization itself.
+  deck.probes = {nodes.near_end, nodes.leaves.front()};
+  return deck;
+}
+
+Deck bus_deck(std::size_t nets, std::size_t segments) {
+  Deck deck;
+  std::vector<ckt::NodeId> from;
+  for (std::size_t k = 0; k < nets; ++k) {
+    const ckt::NodeId src = deck.netlist.node("src" + std::to_string(k));
+    // Staggered, alternating edges so neighboring aggressors genuinely fight.
+    const double t0 = 10.0 * ps + static_cast<double>(k % 4) * 5.0 * ps;
+    const double t1 = t0 + 60.0 * ps;
+    const wave::Pwl edge = (k % 2 == 0) ? wave::Pwl({{t0, 0.0}, {t1, 1.8}})
+                                        : wave::Pwl({{t0, 1.8}, {t1, 0.0}});
+    deck.netlist.add_vsource(src, ckt::ground, edge);
+    from.push_back(src);
+  }
+  const ckt::CoupledDeckNodes nodes =
+      ckt::append_coupled_group(deck.netlist, from, bus_group(nets), segments);
+  deck.probes = {nodes.nets.front().leaves.front(),
+                 nodes.nets[nets / 2].leaves.front()};
+  return deck;
+}
+
+// ---------------------------------------------------------------- timing ---
+
+struct Timing {
+  std::size_t steps = 0;
+  double ns_per_step = 0.0;
+  double steps_per_s = 0.0;
+};
+
+Timing time_deck(const Deck& deck, sim::SolverKind solver, double t_stop, double dt,
+                 int reps) {
+  sim::TransientOptions opt;
+  opt.t_stop = t_stop;
+  opt.dt = dt;
+  opt.solver = solver;
+
+  Timing timing;
+  timing.steps = static_cast<std::size_t>(t_stop / dt);
+
+  using clock = std::chrono::steady_clock;
+  double best_s = 1e300;
+  (void)sim::simulate(deck.netlist, opt, deck.probes);  // warm-up
+  for (int rep = 0; rep < reps; ++rep) {
+    const auto t0 = clock::now();
+    const sim::TransientResult res = sim::simulate(deck.netlist, opt, deck.probes);
+    const auto t1 = clock::now();
+    if (res.at(deck.probes.front()).size() == 0) std::exit(1);  // keep `res` live
+    best_s = std::min(best_s, std::chrono::duration<double>(t1 - t0).count());
+  }
+  timing.ns_per_step = best_s * 1e9 / static_cast<double>(timing.steps);
+  timing.steps_per_s = static_cast<double>(timing.steps) / best_s;
+  return timing;
+}
+
+std::size_t unknowns_of(const Deck& deck) {
+  return ckt::MnaStructure(deck.netlist).unknown_count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int k = 1; k < argc; ++k) {
+    if (std::strcmp(argv[k], "--smoke") == 0) smoke = true;
+  }
+
+  // ---- selection audit (always on the full-size topologies: selected_solver
+  // only inspects the netlist structure, so this is cheap even in smoke).
+  std::size_t picked_dense = 0, picked_banded = 0, picked_sparse = 0;
+  auto audit = [&](const char* name, const ckt::Netlist& nl) {
+    const sim::SolverKind kind = sim::selected_solver(nl);
+    if (kind == sim::SolverKind::dense) ++picked_dense;
+    if (kind == sim::SolverKind::banded) ++picked_banded;
+    if (kind == sim::SolverKind::sparse) ++picked_sparse;
+    std::printf("  auto(%-12s n=%6zu) -> %s\n", name,
+                ckt::MnaStructure(nl).unknown_count(), sim::to_string(kind));
+  };
+  std::printf("== automatic solver selection ==\n");
+  {
+    const Deck tree = tree_deck(11);
+    const Deck bus = bus_deck(64, 8);
+    ckt::Netlist line;
+    const ckt::NodeId src = line.node("src");
+    line.add_vsource(src, ckt::ground, wave::Pwl({{10.0 * ps, 0.0}, {110.0 * ps, 1.8}}));
+    ckt::append_rlc_ladder(line, src, 200.0 * ohm, 2.0 * nh, 300.0 * ff, 120);
+    ckt::Netlist tiny;
+    const ckt::NodeId tsrc = tiny.node("src");
+    tiny.add_vsource(tsrc, ckt::ground, wave::Pwl({{10.0 * ps, 0.0}, {110.0 * ps, 1.8}}));
+    ckt::append_pi_load(tiny, tsrc, 10.0 * ff, 100.0 * ohm, 20.0 * ff);
+    // A short all-to-all coupled bus: wide band after RCM but too small for
+    // the sparse path to pay off, so the heuristic keeps it dense.
+    ckt::Netlist crossbar;
+    {
+      net::CoupledGroup g;
+      for (std::size_t k = 0; k < 12; ++k) {
+        g.add_net(net::Net::uniform_line(40.0 * ohm, 0.8 * nh, 150.0 * ff, 10.0 * ff),
+                  "bit" + std::to_string(k));
+      }
+      for (std::size_t i = 0; i < 12; ++i) {
+        for (std::size_t j = i + 1; j < 12; ++j) {
+          g.couple_capacitance({i, 0}, {j, 0}, 8.0 * ff);
+        }
+      }
+      std::vector<ckt::NodeId> from;
+      for (std::size_t k = 0; k < 12; ++k) {
+        const ckt::NodeId s = crossbar.node("out" + std::to_string(k));
+        crossbar.add_vsource(s, ckt::ground, wave::Pwl({{10.0 * ps, 0.0}, {110.0 * ps, 1.8}}));
+        from.push_back(s);
+      }
+      ckt::append_coupled_group(crossbar, from, g, 2);
+    }
+    audit("clock_tree", tree.netlist);
+    audit("coupled_bus", bus.netlist);
+    audit("long_line", line);
+    audit("pi_load", tiny);
+    audit("crossbar", crossbar);
+  }
+
+  // ---- workload A: the 10k-sink clock tree, sparse only (a dense Jacobian
+  // at this size would be ~13 GB).
+  const int tree_levels = smoke ? 7 : 11;
+  const double tree_t_stop = smoke ? 0.5 * ns : 1.0 * ns;
+  const int tree_reps = smoke ? 2 : 3;
+  const Deck tree = tree_deck(tree_levels);
+  const std::size_t tree_sinks = 10u * (1u << (tree_levels - 1));
+  const std::size_t tree_unknowns = unknowns_of(tree);
+  std::printf("== clock tree: %zu sinks, %zu unknowns ==\n", tree_sinks, tree_unknowns);
+  const Timing tree_sparse =
+      time_deck(tree, sim::SolverKind::sparse, tree_t_stop, 1.0 * ps, tree_reps);
+  std::printf("  sparse: %10.1f ns/step  %10.0f steps/s  (%zu steps)\n",
+              tree_sparse.ns_per_step, tree_sparse.steps_per_s, tree_sparse.steps);
+
+  // ---- workload B: the 64-net coupled bus, all three backends head to head.
+  const double bus_t_stop = smoke ? 0.3 * ns : 1.0 * ns;
+  const int bus_reps = smoke ? 2 : 3;
+  const Deck bus = bus_deck(64, 8);
+  const std::size_t bus_unknowns = unknowns_of(bus);
+  std::printf("== coupled bus: 64 nets, %zu unknowns ==\n", bus_unknowns);
+  const Timing bus_dense =
+      time_deck(bus, sim::SolverKind::dense, bus_t_stop, 0.5 * ps, bus_reps);
+  const Timing bus_banded =
+      time_deck(bus, sim::SolverKind::banded, bus_t_stop, 0.5 * ps, bus_reps);
+  const Timing bus_sparse =
+      time_deck(bus, sim::SolverKind::sparse, bus_t_stop, 0.5 * ps, bus_reps);
+  const double speedup = bus_dense.ns_per_step / bus_sparse.ns_per_step;
+  std::printf("  dense:  %10.1f ns/step  %10.0f steps/s  (%zu steps)\n",
+              bus_dense.ns_per_step, bus_dense.steps_per_s, bus_dense.steps);
+  std::printf("  banded: %10.1f ns/step  %10.0f steps/s\n", bus_banded.ns_per_step,
+              bus_banded.steps_per_s);
+  std::printf("  sparse: %10.1f ns/step  %10.0f steps/s\n", bus_sparse.ns_per_step,
+              bus_sparse.steps_per_s);
+  std::printf("  sparse vs dense: %.2fx\n", speedup);
+
+  bench::update_bench_json(
+      "BENCH_perf.json", "perf", "large_topology",
+      {{"tree_sinks", static_cast<double>(tree_sinks), "count"},
+       {"tree_unknowns", static_cast<double>(tree_unknowns), "count"},
+       {"tree_steps", static_cast<double>(tree_sparse.steps), "count"},
+       {"tree_sparse_ns_per_step", tree_sparse.ns_per_step, "ns/step"},
+       {"tree_sparse_steps_per_s", tree_sparse.steps_per_s, "steps/s"},
+       {"bus_nets", 64.0, "count"},
+       {"bus_unknowns", static_cast<double>(bus_unknowns), "count"},
+       {"bus_steps", static_cast<double>(bus_dense.steps), "count"},
+       {"bus_dense_ns_per_step", bus_dense.ns_per_step, "ns/step"},
+       {"bus_banded_ns_per_step", bus_banded.ns_per_step, "ns/step"},
+       {"bus_sparse_ns_per_step", bus_sparse.ns_per_step, "ns/step"},
+       {"bus_sparse_vs_dense_speedup", speedup, "x"},
+       {"selected_dense", static_cast<double>(picked_dense), "count"},
+       {"selected_banded", static_cast<double>(picked_banded), "count"},
+       {"selected_sparse", static_cast<double>(picked_sparse), "count"}});
+  std::printf("(merged into BENCH_perf.json under \"large_topology.\")\n");
+  return 0;
+}

@@ -119,6 +119,7 @@ Response Engine::model_or_throw(const Request& request, const BatchOptions& opti
   model_opt.iteration.budget = budget;
   tech::DeckOptions deck = options.deck;
   deck.sim.budget = budget;
+  deck.sim.solver = request.solver;
 
   Response response;
   response.label = request.label;
@@ -151,6 +152,8 @@ Response Engine::model_or_throw(const Request& request, const BatchOptions& opti
       response.delay_pushout_model = r.delay_pushout_model;
       response.peak_noise = r.peak_noise;
       response.input_time_50 = r.input_time_50;
+      response.has_solver = true;
+      response.solver = r.solver;
       response.ref_near_wave = std::move(r.ref_near_wave);
       response.ref_far_wave = std::move(r.ref_far_wave);
     } else {
@@ -216,6 +219,8 @@ Response Engine::model_or_throw(const Request& request, const BatchOptions& opti
     response.ref_far_wave = std::move(r.ref_far_wave);
     response.model_far_wave = std::move(r.model_far_wave);
     response.input_time_50 = r.input_time_50;
+    response.has_solver = true;
+    response.solver = r.solver;
   } else {
     const charlib::CharacterizedDriver& driver =
         library_.ensure_driver(technology_, request.cell_size, options.grid);

@@ -113,6 +113,11 @@ struct Request {
   // iterate (the CeffIteration::converged flags stay inspectable either way).
   bool require_convergence = true;
 
+  // Linear-solver backend for the reference transient (sim::SolverKind).
+  // `automatic` lets the engine pick from the deck's size and sparsity; the
+  // explicit kinds force a backend (validation and benchmarking).
+  sim::SolverKind solver = sim::SolverKind::automatic;
+
   // Cooperative execution budget for this slot (util/budget.h): wall-clock
   // deadline, transient step budget, iteration sub-budgets, cancellation.
   // Default: unlimited.  The engine arms it at slot start and threads it
@@ -154,6 +159,12 @@ struct Response {
   wave::Waveform ref_far_wave;
   wave::Waveform model_far_wave;
   double input_time_50 = 0.0;
+
+  // Which linear-solver backend factored the reference deck.  Only
+  // meaningful when has_solver is set (reference-backed slots); model-only
+  // slots never run a transient, so they report no solver.
+  bool has_solver = false;
+  sim::SolverKind solver = sim::SolverKind::automatic;
 
   double elapsed_s = 0.0;  // wall time spent on this slot
 

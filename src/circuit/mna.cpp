@@ -51,12 +51,36 @@ MnaStructure::MnaStructure(const Netlist& netlist) {
   const std::vector<std::size_t> perm = util::reverse_cuthill_mckee(graph);
   bandwidth_ = util::bandwidth(graph, perm);
 
+  // Keep the permuted coupling edges: they (plus all diagonals) are the
+  // fixed pattern of the sparse image.
+  for (std::size_t v = 0; v < unknown_count_; ++v) {
+    for (std::size_t w : graph.neighbors(v)) {
+      if (v < w) {
+        const std::size_t a = perm[v];
+        const std::size_t b = perm[w];
+        edges_.emplace_back(a < b ? a : b, a < b ? b : a);
+      }
+    }
+  }
+  pattern_nonzeros_ = unknown_count_ + 2 * edges_.size();
+
   node_to_index_.assign(n_nodes, 0);
   for (NodeId n = 1; n < n_nodes; ++n) node_to_index_[n] = perm[natural_node(n)];
   vsource_to_index_.resize(n_v);
   for (std::size_t k = 0; k < n_v; ++k) vsource_to_index_[k] = perm[v_base + k];
   inductor_to_index_.resize(n_l);
   for (std::size_t k = 0; k < n_l; ++k) inductor_to_index_[k] = perm[l_base + k];
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> MnaStructure::sparse_pattern() const {
+  std::vector<std::pair<std::size_t, std::size_t>> positions;
+  positions.reserve(pattern_nonzeros_);
+  for (std::size_t k = 0; k < unknown_count_; ++k) positions.emplace_back(k, k);
+  for (const auto& [a, b] : edges_) {
+    positions.emplace_back(a, b);
+    positions.emplace_back(b, a);
+  }
+  return positions;
 }
 
 std::size_t MnaStructure::node_index(NodeId n) const {

@@ -118,6 +118,7 @@ CoupledExperimentResult run_coupled_experiment(const tech::Technology& technolog
         tech::simulate_coupled_group(technology, drives, scenario.group, deck);
     tech::NetSimResult& victim = ref.nets[scenario.victim];
     out.input_time_50 = victim.input_time_50;
+    out.solver = victim.solver;
     const wave::Waveform& far = victim.leaves.at(victim_metrics.dominant_leaf);
     out.ref_near = measure_edge(victim.near_end, technology.vdd, victim.input_time_50);
     out.ref_far = measure_edge(far, technology.vdd, victim.input_time_50);

@@ -90,6 +90,9 @@ struct CoupledExperimentResult {
   wave::Waveform ref_near_wave;
   wave::Waveform ref_far_wave;
   wave::Waveform noise_wave;  // quiet-victim far end
+
+  // Backend that factored the coupled reference deck (never `automatic`).
+  sim::SolverKind solver = sim::SolverKind::automatic;
 };
 
 // Per-net Miller factors for a case (1.0 for the victim and for nets beyond

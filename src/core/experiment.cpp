@@ -55,6 +55,7 @@ ExperimentResult run_experiment(const tech::Technology& technology,
       technology, cell, scenario.input_slew, scenario.net, deck);
   const wave::Waveform& ref_far = ref.leaves.at(metrics.dominant_leaf);
   out.input_time_50 = ref.input_time_50;
+  out.solver = ref.solver;
   out.ref_near = measure_edge(ref.near_end, technology.vdd, ref.input_time_50);
   out.ref_far = measure_edge(ref_far, technology.vdd, ref.input_time_50);
 

@@ -64,6 +64,9 @@ struct ExperimentResult {
   wave::Waveform ref_far_wave;
   wave::Waveform model_far_wave;
   double input_time_50 = 0.0;
+
+  // Backend that factored the reference deck (never `automatic`).
+  sim::SolverKind solver = sim::SolverKind::automatic;
 };
 
 // Runs the reference simulation and both models for one case.  The library

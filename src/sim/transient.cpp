@@ -9,6 +9,7 @@
 #include "circuit/mna.h"
 #include "util/error.h"
 #include "util/linalg.h"
+#include "util/sparse.h"
 
 namespace rlceff::sim {
 
@@ -76,17 +77,81 @@ private:
   util::LuFactors f_;
 };
 
-// The one banded-vs-dense selection predicate (uses_banded_solver reports it).
+// The compressed-sparse backend: the MNA image is a CSC matrix over the
+// fixed pattern MnaStructure derives from the device list, and the
+// factorization is the fill-reducing sparse LU from util/sparse.h.  The
+// static image is a second values array restored by memcpy, so the cached
+// assembly contract (identical stamp sequence into identical storage) holds
+// bitwise just like the dense/banded backends.  The budget tracker is
+// threaded into factor/solve so one large factorization honors deadlines and
+// cancellation from the inside.
+class SparseSolver final : public LinearSolver {
+public:
+  SparseSolver(const MnaStructure& structure, util::ExecTracker* budget)
+      : a_(structure.unknown_count(), structure.sparse_pattern()), budget_(budget) {
+    lu_.analyze(a_);
+  }
+  void clear() override { a_.set_zero(); }
+  void add(std::size_t r, std::size_t c, double v) override { a_.add(r, c, v); }
+  void save_static() override {
+    if (!static_image_) {
+      static_image_.emplace(a_);
+    } else {
+      static_image_->copy_values_from(a_);
+    }
+  }
+  void load_static() override { a_.copy_values_from(*static_image_); }
+  void factor() override { lu_.factor(a_, budget_); }
+  void solve_into(std::span<double> x) override { lu_.solve_into(x, budget_); }
+
+private:
+  util::SparseMatrix a_;
+  std::optional<util::SparseMatrix> static_image_;
+  util::SparseLu lu_;
+  util::ExecTracker* budget_;
+};
+
+// Banded-vs-others predicate: RCM kept the band narrow enough that the
+// banded LU's O(n * bw^2) factor / O(n * bw) solve wins outright.  The
+// absolute cap keeps big decks whose *relative* band happens to be narrow
+// (a bushy clock tree can RCM to bw ~ n / 15) off the band path, where the
+// O(n * bw) storage alone would run to gigabytes; those fall through to the
+// sparse/dense choice below.
 bool bandwidth_is_narrow(std::size_t n, std::size_t bw) {
-  return bw <= std::max<std::size_t>(8, n / 4);
+  return bw <= std::min<std::size_t>(512, std::max<std::size_t>(8, n / 4));
 }
 
-std::unique_ptr<LinearSolver> make_solver(std::size_t n, std::size_t bw,
-                                          bool force_dense) {
-  if (!force_dense && bandwidth_is_narrow(n, bw)) {
-    return std::make_unique<BandedSolver>(n, bw);
+// Sparse-vs-dense predicate for wide-bandwidth systems: per step the
+// factor-once paths cost one substitution sweep — O(L+U nonzeros) sparse
+// (a small multiple of the pattern for fill-reduced circuit matrices)
+// versus O(n^2) dense — so sparse wins once the system is large enough
+// that the estimated fill-bloated pattern is well under the dense triangle.
+// Small systems stay dense: flat arrays beat index chasing there.
+bool sparse_is_cheaper(std::size_t n, std::size_t nnz) {
+  return n >= 128 && 8 * nnz < n * n / 2;
+}
+
+SolverKind resolve_solver_kind(std::size_t n, std::size_t bw, std::size_t nnz,
+                               const TransientOptions& options) {
+  if (options.solver != SolverKind::automatic) return options.solver;
+  if (options.force_dense) return SolverKind::dense;  // deprecated spelling
+  if (bandwidth_is_narrow(n, bw)) return SolverKind::banded;
+  if (sparse_is_cheaper(n, nnz)) return SolverKind::sparse;
+  return SolverKind::dense;
+}
+
+std::unique_ptr<LinearSolver> make_solver(const MnaStructure& structure,
+                                          const TransientOptions& options) {
+  const std::size_t n = structure.unknown_count();
+  switch (resolve_solver_kind(n, structure.bandwidth(), structure.pattern_nonzeros(),
+                              options)) {
+    case SolverKind::banded:
+      return std::make_unique<BandedSolver>(n, structure.bandwidth());
+    case SolverKind::sparse:
+      return std::make_unique<SparseSolver>(structure, options.budget);
+    default:
+      return std::make_unique<DenseSolver>(n);
   }
-  return std::make_unique<DenseSolver>(n);
 }
 
 // Dynamic state carried between time steps.
@@ -114,7 +179,7 @@ public:
         m_(structure_.unknown_count()),
         linear_(netlist.mosfets().empty()),
         cached_(options.assembly == AssemblyMode::cached),
-        solver_(make_solver(m_, structure_.bandwidth(), options.force_dense)),
+        solver_(make_solver(structure_, options)),
         rhs_(m_, 0.0),
         x_(m_, 0.0),
         x_new_(m_, 0.0) {
@@ -467,9 +532,38 @@ void solve_dc(Engine& engine, const TransientOptions& options,
 
 }  // namespace
 
-bool uses_banded_solver(const ckt::Netlist& netlist) {
+const char* to_string(SolverKind kind) {
+  switch (kind) {
+    case SolverKind::automatic:
+      return "auto";
+    case SolverKind::dense:
+      return "dense";
+    case SolverKind::banded:
+      return "banded";
+    case SolverKind::sparse:
+      return "sparse";
+  }
+  return "unknown";
+}
+
+SolverKind solver_kind_from_string(std::string_view name) {
+  if (name == "auto") return SolverKind::automatic;
+  if (name == "dense") return SolverKind::dense;
+  if (name == "banded") return SolverKind::banded;
+  if (name == "sparse") return SolverKind::sparse;
+  throw Error("unknown solver kind '" + std::string(name) +
+              "' (expected auto, dense, banded, or sparse)");
+}
+
+SolverKind selected_solver(const ckt::Netlist& netlist,
+                           const TransientOptions& options) {
   const MnaStructure structure(netlist);
-  return bandwidth_is_narrow(structure.unknown_count(), structure.bandwidth());
+  return resolve_solver_kind(structure.unknown_count(), structure.bandwidth(),
+                             structure.pattern_nonzeros(), options);
+}
+
+bool uses_banded_solver(const ckt::Netlist& netlist) {
+  return selected_solver(netlist) == SolverKind::banded;
 }
 
 TransientResult::TransientResult(std::vector<ckt::NodeId> probes, std::size_t reserve_steps)

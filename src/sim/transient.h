@@ -2,14 +2,18 @@
 //
 // Fixed-step MNA integration with trapezoidal (default) or backward-Euler
 // companion models, Newton-Raphson for the MOSFET driver, and a DC operating
-// point with gmin stepping.  The Jacobian is factored with a banded LU after
-// reverse Cuthill-McKee ordering (discretized lines are nearly tridiagonal)
-// and falls back to dense LU when the bandwidth is not small.
+// point with gmin stepping.  The Jacobian is factored by one of three
+// interchangeable backends (SolverKind): a banded LU after reverse
+// Cuthill-McKee ordering (discretized lines are nearly tridiagonal), a
+// compressed-sparse LU with fill-reducing ordering for large trees and wide
+// coupled buses, or the dense LU for small/pathological systems — selected
+// automatically per netlist (selected_solver) unless overridden.
 #ifndef RLCEFF_SIM_TRANSIENT_H
 #define RLCEFF_SIM_TRANSIENT_H
 
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "circuit/netlist.h"
@@ -19,6 +23,20 @@
 namespace rlceff::sim {
 
 enum class Integrator { trapezoidal, backward_euler };
+
+// The linear-solver backend behind the MNA factorization.  `automatic` (the
+// default everywhere) resolves per netlist via selected_solver(): banded when
+// RCM leaves a narrow band, sparse when the system is large and its
+// fill-reducing LU is estimated cheaper than a dense factor, dense otherwise.
+// All three backends implement the same factor-once static-image contract,
+// agree to LU roundoff (~1e-10 on waveforms), and are individually
+// deterministic.
+enum class SolverKind { automatic, dense, banded, sparse };
+
+const char* to_string(SolverKind kind);
+
+// Parses "auto" / "dense" / "banded" / "sparse"; throws Error otherwise.
+SolverKind solver_kind_from_string(std::string_view name);
 
 // MNA assembly strategy.
 //
@@ -54,8 +72,12 @@ struct TransientOptions {
   util::ExecTracker* budget = nullptr;
   double newton_damping_v = 0.6;  // max voltage change accepted per iteration [V]
   AssemblyMode assembly = AssemblyMode::cached;
-  // Skip the banded solver even when the bandwidth is small (test/bench hook
-  // for exercising the dense LU fallback on narrow decks).
+  // Linear-solver override: `automatic` applies the selection heuristic (see
+  // selected_solver); any other value forces that backend.
+  SolverKind solver = SolverKind::automatic;
+  // Deprecated: pre-SolverKind spelling of `solver = SolverKind::dense`.
+  // Honored (when `solver` is automatic) so existing tests compile; use the
+  // SolverKind override in new code.
   bool force_dense = false;
   // Fault-injection hooks for the property/chaos harnesses (testkit/faults.h
   // generalizes these into keyed per-slot fault plans).  Never set outside
@@ -95,8 +117,17 @@ struct OperatingPoint {
   std::vector<double> vsource_current;
 };
 
-// True when simulate() would factor this netlist with the banded solver
-// (rather than the dense LU fallback the wide-bandwidth coupled decks hit).
+// The backend simulate() will factor this netlist with: the explicit
+// override when `options.solver` is not automatic (force_dense counting as a
+// dense override), otherwise the heuristic — banded while RCM keeps the band
+// narrow, else sparse when the unknown count is large enough that the
+// estimated sparse LU work beats the dense factor, else dense.  Never
+// returns SolverKind::automatic.
+SolverKind selected_solver(const ckt::Netlist& netlist,
+                           const TransientOptions& options = {});
+
+// Deprecated: pre-SolverKind spelling of
+// `selected_solver(netlist) == SolverKind::banded`.
 bool uses_banded_solver(const ckt::Netlist& netlist);
 
 // Solves the DC operating point at t = 0 (sources at their t = 0 values,

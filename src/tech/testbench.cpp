@@ -51,8 +51,11 @@ NetSimResult run_net_deck(ckt::Netlist& nl, ckt::NodeId out,
                           const DeckOptions& options) {
   std::vector<ckt::NodeId> probes;
   add_net_probes(probes, out, nodes);
-  const sim::TransientResult res = sim::simulate(nl, make_sim_options(options), probes);
-  return collect_net_result(res, out, nodes, input_time_50);
+  const sim::TransientOptions sim_options = make_sim_options(options);
+  const sim::TransientResult res = sim::simulate(nl, sim_options, probes);
+  NetSimResult result = collect_net_result(res, out, nodes, input_time_50);
+  result.solver = sim::selected_solver(nl, sim_options);
+  return result;
 }
 
 }  // namespace
@@ -158,13 +161,16 @@ CoupledSimResult simulate_coupled_group(const Technology& tech,
   for (std::size_t k = 0; k < group.size(); ++k) {
     add_net_probes(probes, outs[k], decks.nets[k]);
   }
-  const sim::TransientResult res = sim::simulate(nl, make_sim_options(options), probes);
+  const sim::TransientOptions sim_options = make_sim_options(options);
+  const sim::TransientResult res = sim::simulate(nl, sim_options, probes);
+  const sim::SolverKind solver = sim::selected_solver(nl, sim_options);
 
   CoupledSimResult result;
   result.nets.reserve(group.size());
   for (std::size_t k = 0; k < group.size(); ++k) {
     result.nets.push_back(
         collect_net_result(res, outs[k], decks.nets[k], input_t50[k]));
+    result.nets.back().solver = solver;
   }
   return result;
 }

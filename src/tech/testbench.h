@@ -53,6 +53,10 @@ struct NetSimResult {
   std::vector<wave::Waveform> leaves;                        // depth-first leaf order
   std::vector<std::pair<std::string, wave::Waveform>> probes;  // named probes
   double input_time_50 = 0.0;  // 50 % crossing of the input stimulus
+  // The backend that factored this deck (sim::selected_solver over the
+  // compiled netlist — never `automatic`); reported up through
+  // core::ExperimentResult and api::Response.
+  sim::SolverKind solver = sim::SolverKind::automatic;
 
   // Named-probe lookup; throws when the net declared no such probe.
   const wave::Waveform& probe(std::string_view name) const;

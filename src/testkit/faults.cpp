@@ -17,6 +17,7 @@ const char* to_string(FaultKind kind) {
     case FaultKind::slowdown: return "slowdown";
     case FaultKind::cancelled: return "cancelled";
     case FaultKind::step_budget: return "step_budget";
+    case FaultKind::sparse_step_budget: return "sparse_step_budget";
     case FaultKind::worker_throw: return "worker_throw";
     case FaultKind::degraded_fallback: return "degraded_fallback";
   }
@@ -30,8 +31,8 @@ SlotFault FaultPlan::at(std::size_t slot) const {
   constexpr FaultKind kMenu[] = {
       FaultKind::forced_nonconv, FaultKind::instant_deadline,
       FaultKind::slowdown,       FaultKind::cancelled,
-      FaultKind::step_budget,    FaultKind::worker_throw,
-      FaultKind::degraded_fallback,
+      FaultKind::step_budget,    FaultKind::sparse_step_budget,
+      FaultKind::worker_throw,   FaultKind::degraded_fallback,
   };
   fault.kind = rng.pick(kMenu);
   if (fault.kind == FaultKind::slowdown) {
@@ -88,6 +89,15 @@ SlotFault FaultPlan::apply(std::size_t slot, api::Request& request) const {
       // The step budget only meters transient simulation, so force the
       // reference path; any real deck runs well past this ceiling.
       request.reference = true;
+      request.budget.max_transient_steps = 40;
+      request.degrade = api::DegradePolicy{};
+      break;
+    case FaultKind::sparse_step_budget:
+      // Same exhausted budget, but through the sparse backend: the budget
+      // checkpoints inside SparseLu::factor/solve_into (not just the step
+      // loop) must keep exhaustion prompt and structured on this path too.
+      request.reference = true;
+      request.solver = sim::SolverKind::sparse;
       request.budget.max_transient_steps = 40;
       request.degrade = api::DegradePolicy{};
       break;
@@ -158,6 +168,7 @@ FaultExpectation expectation(const SlotFault& fault) {
       e.message_needle = "cancelled";
       break;
     case FaultKind::step_budget:
+    case FaultKind::sparse_step_budget:
       e.must_fail = true;
       e.code = api::ErrorCode::resource_exhausted;
       e.message_needle = "step budget";

@@ -45,6 +45,9 @@ enum class FaultKind {
                      // checkpoint the tracker: the slot must exit promptly
   cancelled,         // pre-fired CancelToken (degrade enabled: must not help)
   step_budget,       // reference run with a tiny transient step budget
+  sparse_step_budget,// same exhausted step budget, forced onto the sparse
+                     // solver: the checkpoints inside the sparse factor and
+                     // solve loops must surface it just as cleanly
   worker_throw,      // hook throws a non-library exception inside the slot
   degraded_fallback, // instant deadline + degrade policy: flagged fallback
 };

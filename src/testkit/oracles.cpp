@@ -66,6 +66,7 @@ tech::DeckOptions equivalence_deck(const OracleOptions& options, double t_stop) 
   deck.segments = options.segments;
   deck.dt = options.dt;
   deck.t_stop = t_stop;
+  deck.sim.solver = options.solver;
   return deck;
 }
 
@@ -181,24 +182,56 @@ void check_cached_vs_naive(const net::CoupledGroup& group, Rng rng,
   }
 }
 
-void check_banded_vs_dense(const net::Net& net, Rng rng, const OracleOptions& options) {
+void check_solver_equivalence(const net::Net& net, Rng rng,
+                              const OracleOptions& options) {
   const double input_slew = rng.uniform(25 * ps, 300 * ps);
-  tech::DeckOptions banded = equivalence_deck(options, short_horizon(net, input_slew));
-  tech::DeckOptions dense = banded;
-  dense.sim.force_dense = true;
-
+  const tech::DeckOptions deck =
+      equivalence_deck(options, short_horizon(net, input_slew));
   const wave::Pwl source = wave::ramp(10 * ps, input_slew, 0.0, 1.8);
-  const tech::NetSimResult a = tech::simulate_source_net(source, net, banded);
-  const tech::NetSimResult b = tech::simulate_source_net(source, net, dense);
 
-  // Different factorizations (band pivoting vs dense partial pivoting) agree
-  // to rounding, not bitwise; 1e-9 V on a 1.8 V swing is far below any
-  // physical signal and far above accumulated LU noise.
-  expect_waveforms_equal(a.near_end, b.near_end, 1e-9, "banded vs dense near end");
-  for (std::size_t k = 0; k < a.leaves.size(); ++k) {
-    expect_waveforms_equal(a.leaves[k], b.leaves[k], 1e-9,
-                           "banded vs dense leaf " + std::to_string(k));
+  auto run = [&](sim::SolverKind kind, sim::AssemblyMode assembly) {
+    tech::DeckOptions d = deck;
+    d.sim.solver = kind;
+    d.sim.assembly = assembly;
+    return tech::simulate_source_net(source, net, d);
+  };
+
+  // Dense partial-pivoting LU is the reference backend.
+  const tech::NetSimResult dense = run(sim::SolverKind::dense, sim::AssemblyMode::cached);
+  const tech::NetSimResult banded =
+      run(sim::SolverKind::banded, sim::AssemblyMode::cached);
+  const tech::NetSimResult sparse =
+      run(sim::SolverKind::sparse, sim::AssemblyMode::cached);
+
+  // Different factorizations (band pivoting, dense partial pivoting, sparse
+  // Gilbert-Peierls with its own pivot order) agree to rounding, not bitwise;
+  // 1e-10 V on a 1.8 V swing is far below any physical signal and far above
+  // accumulated LU noise.
+  auto against_dense = [&](const tech::NetSimResult& a, const std::string& which) {
+    expect_waveforms_equal(a.near_end, dense.near_end, 1e-10,
+                           which + " vs dense near end");
+    for (std::size_t k = 0; k < a.leaves.size(); ++k) {
+      expect_waveforms_equal(a.leaves[k], dense.leaves[k], 1e-10,
+                             which + " vs dense leaf " + std::to_string(k));
+    }
+  };
+  against_dense(banded, "banded");
+  against_dense(sparse, "sparse");
+
+  // The factor-once contract extends to the sparse image: cached assembly
+  // (static image + memcpy restore) must reproduce naive per-step assembly
+  // bitwise, exactly like the dense and banded paths.
+  const tech::NetSimResult naive = run(sim::SolverKind::sparse, sim::AssemblyMode::naive);
+  expect_waveforms_equal(sparse.near_end, naive.near_end, 0.0,
+                         "sparse cached vs naive near end");
+  for (std::size_t k = 0; k < sparse.leaves.size(); ++k) {
+    expect_waveforms_equal(sparse.leaves[k], naive.leaves[k], 0.0,
+                           "sparse cached vs naive leaf " + std::to_string(k));
   }
+}
+
+void check_banded_vs_dense(const net::Net& net, Rng rng, const OracleOptions& options) {
+  check_solver_equivalence(net, rng, options);
 }
 
 void check_charge_conservation(const net::Net& net, Rng rng,
@@ -223,6 +256,7 @@ void check_charge_conservation(const net::Net& net, Rng rng,
   sim::TransientOptions sim_options;
   sim_options.t_stop = t_stop;
   sim_options.dt = options.dt;
+  sim_options.solver = options.solver;
   std::vector<ckt::NodeId> probes;
   probes.push_back(near);
   for (ckt::NodeId leaf : nodes.leaves) {

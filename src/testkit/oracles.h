@@ -8,7 +8,9 @@
 //
 //   * cached-vs-naive:     both MNA assembly modes produce identical
 //                          waveforms (the factor-once engine's contract),
-//   * banded-vs-dense:     the banded LU agrees with the dense fallback,
+//   * solver equivalence:  dense, banded and sparse LU backends agree on the
+//                          same deck, and the sparse backend keeps the
+//                          cached-vs-naive bitwise contract,
 //   * charge conservation: the charge a source pushes into a passive net
 //                          equals C_total * Vdd once every node settles,
 //   * net invariants:      moments' m1 == total capacitance, the compiled
@@ -39,6 +41,7 @@
 #include "api/engine.h"
 #include "net/coupled.h"
 #include "net/net.h"
+#include "sim/transient.h"
 #include "testkit/generate.h"
 #include "testkit/rng.h"
 
@@ -47,6 +50,12 @@ namespace rlceff::testkit {
 struct OracleOptions {
   std::size_t segments = 8;  // ladder discretization of sim-backed decks
   double dt = 2e-12;         // sim step [s]
+  // Linear-solver backend for the sim-backed oracle decks.  `automatic`
+  // keeps the engine's own selection; the property harness forces each
+  // explicit kind in turn (--solver) so every backend sees the full
+  // randomized topology stream.  Oracles that exist to compare backends
+  // (check_solver_equivalence) ignore this and pick their own.
+  sim::SolverKind solver = sim::SolverKind::automatic;
   // Fault injection (the harness's own self-test): forwarded to
   // sim::TransientOptions::debug_cached_stamp_skew on the *cached* run of
   // the cached-vs-naive oracle.  Any nonzero value must be caught.
@@ -63,8 +72,16 @@ void check_cached_vs_naive(const net::Net& net, Rng rng, const OracleOptions& op
 void check_cached_vs_naive(const net::CoupledGroup& group, Rng rng,
                            const OracleOptions& options);
 
-// Simulates one linear deck with the banded solver and with force_dense and
-// requires agreement to factorization rounding.
+// Simulates one linear deck under every solver backend (dense reference,
+// banded, sparse) and requires agreement to factorization rounding (1e-10 V
+// on the 1.8 V swing).  Also re-runs the sparse backend with naive assembly
+// and requires the cached path to match it bitwise — the factor-once
+// contract extends to the sparse image.
+void check_solver_equivalence(const net::Net& net, Rng rng,
+                              const OracleOptions& options);
+
+// Deprecated: two-way predecessor of check_solver_equivalence; now forwards
+// to the three-way oracle.
 void check_banded_vs_dense(const net::Net& net, Rng rng, const OracleOptions& options);
 
 // Drives the net through a series resistor with a saturated ramp and checks

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <queue>
+#include <set>
+#include <utility>
 
 #include "util/error.h"
 
@@ -56,6 +58,52 @@ std::vector<std::size_t> reverse_cuthill_mckee(const SparsityGraph& g) {
   std::reverse(order.begin(), order.end());
   std::vector<std::size_t> perm(n);
   for (std::size_t pos = 0; pos < n; ++pos) perm[order[pos]] = pos;
+  return perm;
+}
+
+std::vector<std::size_t> minimum_degree_ordering(const SparsityGraph& g) {
+  const std::size_t n = g.size();
+  // Working elimination graph: sorted adjacency sets so neighborhood merges
+  // and membership tests stay deterministic and cheap at circuit degrees.
+  std::vector<std::set<std::size_t>> adj(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    adj[v].insert(g.neighbors(v).begin(), g.neighbors(v).end());
+  }
+
+  // (degree, vertex) heap as an ordered set: min element is the next pivot,
+  // smallest index winning ties by the pair ordering.  `degree[w]` mirrors
+  // the key currently stored for w so refreshes can erase by exact key.
+  std::vector<std::size_t> degree(n);
+  std::set<std::pair<std::size_t, std::size_t>> by_degree;
+  for (std::size_t v = 0; v < n; ++v) {
+    degree[v] = adj[v].size();
+    by_degree.insert({degree[v], v});
+  }
+
+  std::vector<std::size_t> perm(n);
+  for (std::size_t pos = 0; pos < n; ++pos) {
+    const std::size_t v = by_degree.begin()->second;
+    by_degree.erase(by_degree.begin());
+    perm[v] = pos;
+
+    // Eliminating v fills in a clique over its remaining neighbors.
+    const std::vector<std::size_t> frontier(adj[v].begin(), adj[v].end());
+    for (std::size_t w : frontier) adj[w].erase(v);
+    for (std::size_t a : frontier) {
+      for (std::size_t b : frontier) {
+        if (a < b) {
+          adj[a].insert(b);
+          adj[b].insert(a);
+        }
+      }
+    }
+    for (std::size_t w : frontier) {
+      by_degree.erase({degree[w], w});
+      degree[w] = adj[w].size();
+      by_degree.insert({degree[w], w});
+    }
+    adj[v].clear();
+  }
   return perm;
 }
 

@@ -30,6 +30,14 @@ private:
 // visited in increasing degree, and reverses the result.
 std::vector<std::size_t> reverse_cuthill_mckee(const SparsityGraph& g);
 
+// Fill-reducing elimination ordering for the sparse LU (AMD-style greedy
+// minimum degree on the elimination graph): repeatedly eliminates a vertex
+// of minimum current degree (ties broken by smallest vertex index, so the
+// ordering is platform-deterministic) and turns its remaining neighborhood
+// into a clique.  Returns perm with new_index = perm[old_index], same
+// convention as reverse_cuthill_mckee.
+std::vector<std::size_t> minimum_degree_ordering(const SparsityGraph& g);
+
 // Bandwidth of the permuted graph: max |perm[a] - perm[b]| over edges.
 std::size_t bandwidth(const SparsityGraph& g, const std::vector<std::size_t>& perm);
 

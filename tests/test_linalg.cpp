@@ -1,11 +1,15 @@
-// Unit tests for dense/banded LU and RCM ordering.
+// Unit tests for dense/banded/sparse LU and the ordering heuristics.
 #include "util/linalg.h"
 
 #include <gtest/gtest.h>
 
+#include <utility>
+
 #include "test_helpers.h"
+#include "util/budget.h"
 #include "util/error.h"
 #include "util/ordering.h"
+#include "util/sparse.h"
 
 namespace rlceff::util {
 namespace {
@@ -204,6 +208,170 @@ TEST(BandedLu, PivotingWithinBandWorks) {
   const auto x_band = a.solve(b);
   const auto x_dense = solve_dense(d, b);
   for (std::size_t k = 0; k < m; ++k) expect_rel_near(x_dense[k], x_band[k], 1e-9);
+}
+
+// ---- compressed-sparse LU ---------------------------------------------------
+
+// A random MNA-shaped pattern: diagonal plus symmetric off-diagonal pairs.
+std::vector<std::pair<std::size_t, std::size_t>> random_pattern(std::size_t m,
+                                                                std::size_t extra) {
+  std::vector<std::pair<std::size_t, std::size_t>> pos;
+  for (std::size_t k = 0; k < m; ++k) pos.emplace_back(k, k);
+  for (std::size_t k = 0; k + 1 < m; ++k) {
+    pos.emplace_back(k, k + 1);
+    pos.emplace_back(k + 1, k);
+  }
+  for (std::size_t k = 0; k < extra; ++k) {
+    const auto a = static_cast<std::size_t>(uniform(0.0, static_cast<double>(m)));
+    const auto b = static_cast<std::size_t>(uniform(0.0, static_cast<double>(m)));
+    if (a == b) continue;
+    pos.emplace_back(a, b);
+    pos.emplace_back(b, a);
+  }
+  return pos;
+}
+
+TEST(SparseLu, MatchesDenseOnRandomSparseSystems) {
+  for (int trial = 0; trial < 25; ++trial) {
+    const std::size_t m = 8 + static_cast<std::size_t>(3 * trial);
+    SparseMatrix a(m, random_pattern(m, m / 2));
+    DenseMatrix dense(m, m);
+    for (std::size_t c = 0; c < m; ++c) {
+      for (std::size_t p = a.col_ptr()[c]; p < a.col_ptr()[c + 1]; ++p) {
+        const std::size_t r = a.row_ind()[p];
+        double v = uniform(-1.0, 1.0);
+        if (r == c) v += 4.0;
+        a.add(r, c, v);
+        dense(r, c) += v;
+      }
+    }
+    std::vector<double> b(m);
+    for (double& v : b) v = uniform(-2.0, 2.0);
+
+    SparseLu lu;
+    lu.analyze(a);
+    lu.factor(a);
+    std::vector<double> x = b;
+    lu.solve_into(x);
+    const auto x_ref = solve_dense(dense, b);
+    for (std::size_t k = 0; k < m; ++k) EXPECT_NEAR(x_ref[k], x[k], 1e-9);
+  }
+}
+
+TEST(SparseLu, PivotsOnZeroDiagonal) {
+  // A vsource-style block: zero diagonal in the branch row forces pivoting.
+  SparseMatrix a(3, {{0, 0}, {1, 1}, {2, 2}, {0, 2}, {2, 0}, {0, 1}, {1, 0}});
+  a.add(0, 0, 1e-12);  // gmin only
+  a.add(1, 1, 2.0);
+  a.add(0, 1, -1.0);
+  a.add(1, 0, -1.0);
+  a.add(0, 2, 1.0);
+  a.add(2, 0, 1.0);
+  // a(2, 2) stays 0: branch row.
+  SparseLu lu;
+  lu.analyze(a);
+  lu.factor(a);
+  std::vector<double> x{0.0, 0.0, 1.5};  // force node 0 to 1.5 V
+  lu.solve_into(x);
+  EXPECT_NEAR(1.5, x[0], 1e-12);
+  EXPECT_NEAR(0.75, x[1], 1e-9);
+}
+
+TEST(SparseLu, StaticImageRestampRefactorMatchesDense) {
+  // The transient engine's cached pattern on the sparse image: snapshot the
+  // static stamps, restore by memcpy, perturb one position, refactor, solve.
+  const std::size_t m = 12;
+  SparseMatrix a(m, random_pattern(m, 4));
+  DenseMatrix dense_base(m, m);
+  for (std::size_t c = 0; c < m; ++c) {
+    for (std::size_t p = a.col_ptr()[c]; p < a.col_ptr()[c + 1]; ++p) {
+      const std::size_t r = a.row_ind()[p];
+      double v = uniform(-1.0, 1.0);
+      if (r == c) v += 4.0;
+      a.add(r, c, v);
+      dense_base(r, c) += v;
+    }
+  }
+  SparseMatrix image(a);
+  std::vector<double> b(m, 1.0);
+
+  SparseLu lu;
+  lu.analyze(a);
+  for (int round = 0; round < 3; ++round) {
+    const double extra = 0.5 * static_cast<double>(round);
+    a.copy_values_from(image);
+    a.add(0, 0, extra);
+    lu.factor(a);
+    std::vector<double> x = b;
+    lu.solve_into(x);
+
+    DenseMatrix dense = dense_base;
+    dense(0, 0) += extra;
+    const auto x_ref = solve_dense(dense, b);
+    for (std::size_t k = 0; k < m; ++k) expect_rel_near(x_ref[k], x[k], 1e-9);
+  }
+}
+
+TEST(SparseLu, SingularThrows) {
+  SparseMatrix a(2, {{0, 0}, {0, 1}, {1, 0}, {1, 1}});
+  a.add(0, 0, 1.0);
+  a.add(0, 1, 2.0);
+  a.add(1, 0, 2.0);
+  a.add(1, 1, 4.0);
+  SparseLu lu;
+  lu.analyze(a);
+  EXPECT_THROW(lu.factor(a), SingularMatrixError);
+}
+
+TEST(SparseLu, RejectsOutOfPatternEntry) {
+  SparseMatrix a(3, {{0, 0}, {1, 1}, {2, 2}});
+  EXPECT_THROW(a.add(0, 2, 1.0), Error);
+}
+
+TEST(SparseLu, FactorHonorsCancellation) {
+  // A pre-fired CancelToken must surface from *inside* the numeric factor
+  // (the satellite-4 checkpoint), not only between transient steps.
+  const std::size_t m = 200;
+  SparseMatrix a(m, random_pattern(m, 40));
+  for (std::size_t c = 0; c < m; ++c) {
+    for (std::size_t p = a.col_ptr()[c]; p < a.col_ptr()[c + 1]; ++p) {
+      a.add(a.row_ind()[p], c, a.row_ind()[p] == c ? 4.0 : -0.3);
+    }
+  }
+  SparseLu lu;
+  lu.analyze(a);
+
+  ExecBudget budget;
+  budget.cancel = CancelToken::source();
+  budget.cancel.request_cancel();
+  ExecTracker tracker(budget);
+  EXPECT_THROW(lu.factor(a, &tracker), CancelledError);
+}
+
+TEST(MinimumDegree, PermutationIsBijective) {
+  SparsityGraph g(12);
+  g.add_edge(0, 5);
+  g.add_edge(5, 9);
+  g.add_edge(2, 3);
+  g.add_edge(9, 11);
+  const auto perm = minimum_degree_ordering(g);
+  std::vector<bool> seen(perm.size(), false);
+  for (std::size_t p : perm) {
+    ASSERT_LT(p, perm.size());
+    EXPECT_FALSE(seen[p]);
+    seen[p] = true;
+  }
+}
+
+TEST(MinimumDegree, StarGraphEliminatesLeavesFirst) {
+  // Leaves have degree 1, the hub degree n-1: the hub cannot be ordered
+  // before the leaves have brought its degree down to a tie (position n-2 at
+  // the earliest, where the tie-break by index lets the hub in).  This is
+  // the zero-fill elimination order for a star.
+  SparsityGraph g(8);
+  for (std::size_t k = 1; k < 8; ++k) g.add_edge(0, k);
+  const auto perm = minimum_degree_ordering(g);
+  EXPECT_GE(perm[0], 6u);
 }
 
 TEST(Rcm, ReducesLadderBandwidthToOne) {

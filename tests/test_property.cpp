@@ -10,6 +10,9 @@
 //   --seed <0xhex|dec>    replay exactly one instance per (filtered) family
 //   --threads <n>         sweep pool width (0 = hardware concurrency)
 //   --failures-dir <dir>  where replay decks are written (default: failures)
+//   --solver <kind>       force a linear-solver backend (auto, dense, banded,
+//                         sparse) on every sim-backed oracle deck, so each
+//                         backend sees the full randomized topology stream
 //   --inject-stamp-bug    fault injection self-test: skew one cached-path
 //                         MNA stamp; the equivalence oracles MUST fail
 //
@@ -47,6 +50,7 @@ struct PropertyConfig {
   int scale_pct = 100;
   unsigned n_threads = 0;
   std::string failures_dir = "failures";
+  sim::SolverKind forced_solver = sim::SolverKind::automatic;
   bool inject_stamp_bug = false;
   std::optional<std::uint64_t> replay_seed;
 };
@@ -92,6 +96,7 @@ api::Engine& shared_engine() {
 
 OracleOptions sim_oracle_options() {
   OracleOptions options;
+  options.solver = g_config.forced_solver;
   if (g_config.inject_stamp_bug) options.stamp_skew = 2e-4;
   return options;
 }
@@ -319,10 +324,34 @@ TEST(PropertySuite, CoupledCachedVsNaive) {
   });
 }
 
-TEST(PropertySuite, BandedVsDense) {
-  run_family("banded_vs_dense", 70, 1, [](std::uint64_t seed) {
-    return run_net_instance("banded_vs_dense", seed, [](const net::Net& net, Rng rng) {
-      check_banded_vs_dense(net, rng, OracleOptions{});
+TEST(PropertySuite, SolverEquivalence) {
+  run_family("solver_equivalence", 70, 1, [](std::uint64_t seed) {
+    return run_net_instance("solver_equivalence", seed,
+                            [](const net::Net& net, Rng rng) {
+                              check_solver_equivalence(net, rng, OracleOptions{});
+                            });
+  });
+}
+
+// Each explicit backend (dense, banded, sparse) carries the factor-once
+// cached-vs-naive bitwise contract on its own: both driver-driven (MOSFET
+// restamping through the position map) and source-driven (static-image
+// reuse) decks, drawn from the same child stream for every backend.
+TEST(PropertySuite, ForcedSolver) {
+  run_family("forced_solver", 36, 1, [](std::uint64_t seed) {
+    return run_net_instance("forced_solver", seed, [](const net::Net& net, Rng rng) {
+      constexpr sim::SolverKind kKinds[] = {
+          sim::SolverKind::dense, sim::SolverKind::banded, sim::SolverKind::sparse};
+      for (sim::SolverKind kind : kKinds) {
+        OracleOptions options = sim_oracle_options();
+        options.solver = kind;
+        try {
+          check_cached_vs_naive(net, rng, options);
+        } catch (const Error& e) {
+          throw Error(std::string("forced ") + sim::to_string(kind) + ": " +
+                      e.what());
+        }
+      }
     });
   });
 }
@@ -331,7 +360,9 @@ TEST(PropertySuite, ChargeConservation) {
   run_family("charge_conservation", 80, 1, [](std::uint64_t seed) {
     return run_net_instance("charge_conservation", seed,
                             [](const net::Net& net, Rng rng) {
-                              check_charge_conservation(net, rng, OracleOptions{});
+                              OracleOptions options;
+                              options.solver = g_config.forced_solver;
+                              check_charge_conservation(net, rng, options);
                             });
   });
 }
@@ -419,7 +450,9 @@ TEST(PropertySuite, ChaosBatch) {
 TEST(PropertySuite, NanStampGuard) {
   run_family("nan_stamp_guard", 60, 1, [](std::uint64_t seed) {
     return run_net_instance("nan_stamp_guard", seed, [](const net::Net& net, Rng rng) {
-      check_nan_stamp_fault(net, rng, OracleOptions{});
+      OracleOptions options;
+      options.solver = g_config.forced_solver;
+      check_nan_stamp_fault(net, rng, options);
     });
   });
 }
@@ -479,6 +512,13 @@ int main(int argc, char** argv) {
       g_config.n_threads = static_cast<unsigned>(std::atoi(v));
     } else if (const char* v = value_of("--failures-dir")) {
       g_config.failures_dir = v;
+    } else if (const char* v = value_of("--solver")) {
+      try {
+        g_config.forced_solver = rlceff::sim::solver_kind_from_string(v);
+      } catch (const rlceff::Error& e) {
+        std::fprintf(stderr, "rlceff_property: %s\n", e.what());
+        return 2;
+      }
     } else if (arg == "--inject-stamp-bug") {
       g_config.inject_stamp_bug = true;
     } else {
@@ -486,7 +526,7 @@ int main(int argc, char** argv) {
                    "rlceff_property: unknown argument '%s'\n"
                    "usage: rlceff_property [gtest flags] [--count-scale <pct>] "
                    "[--seed <n>] [--threads <n>] [--failures-dir <dir>] "
-                   "[--inject-stamp-bug]\n",
+                   "[--solver auto|dense|banded|sparse] [--inject-stamp-bug]\n",
                    arg.c_str());
       return 2;
     }
@@ -497,9 +537,11 @@ int main(int argc, char** argv) {
   }
 
   std::fprintf(stderr,
-               "[property] base_seed=0x%llx scale=%d%% threads=%u failures_dir=%s%s\n",
+               "[property] base_seed=0x%llx scale=%d%% threads=%u failures_dir=%s "
+               "solver=%s%s\n",
                static_cast<unsigned long long>(g_config.base_seed), g_config.scale_pct,
                g_config.n_threads, g_config.failures_dir.c_str(),
+               rlceff::sim::to_string(g_config.forced_solver),
                g_config.inject_stamp_bug ? " (stamp bug injected)" : "");
 
   const int rc = RUN_ALL_TESTS();

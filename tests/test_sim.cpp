@@ -255,6 +255,69 @@ TEST(Transient, ChargeDeliveredMatchesCapacitor) {
   expect_rel_near(2e-12, q, 1e-3);
 }
 
+TEST(SolverSelection, NarrowLadderPicksBandedAndOverridesWin) {
+  Netlist nl;
+  const NodeId src = nl.node("src");
+  nl.add_vsource(src, ground, wave::Pwl({{0.0, 0.0}, {100 * ps, 1.0}}));
+  ckt::append_rlc_ladder(nl, src, 100.0, 1 * nh, 200e-15, 40);
+
+  EXPECT_EQ(SolverKind::banded, selected_solver(nl));
+  EXPECT_TRUE(uses_banded_solver(nl));  // deprecated shim, same predicate
+
+  TransientOptions opt;
+  opt.solver = SolverKind::sparse;
+  EXPECT_EQ(SolverKind::sparse, selected_solver(nl, opt));
+  opt.solver = SolverKind::dense;
+  EXPECT_EQ(SolverKind::dense, selected_solver(nl, opt));
+
+  // The deprecated force_dense spelling still maps to a dense override, but
+  // an explicit SolverKind beats it.
+  opt.solver = SolverKind::automatic;
+  opt.force_dense = true;
+  EXPECT_EQ(SolverKind::dense, selected_solver(nl, opt));
+  opt.solver = SolverKind::banded;
+  EXPECT_EQ(SolverKind::banded, selected_solver(nl, opt));
+}
+
+TEST(SolverSelection, KindNamesRoundTrip) {
+  for (const SolverKind kind : {SolverKind::automatic, SolverKind::dense,
+                                SolverKind::banded, SolverKind::sparse}) {
+    EXPECT_EQ(kind, solver_kind_from_string(to_string(kind)));
+  }
+  EXPECT_THROW(solver_kind_from_string("cholesky"), Error);
+}
+
+TEST(SolverSelection, AllBackendsAgreeOnAnRlcLadder) {
+  // One deck, three factorizations: waveforms must agree to LU roundoff.
+  Netlist nl;
+  const NodeId src = nl.node("src");
+  nl.add_vsource(src, ground, wave::Pwl({{0.0, 0.0}, {50 * ps, 1.0}}));
+  const auto line = ckt::append_rlc_ladder(nl, src, 200.0, 2 * nh, 400e-15, 30);
+  nl.add_capacitor(line.far_end, ground, 20e-15);
+
+  TransientOptions opt;
+  opt.t_stop = 0.5 * ns;
+  opt.dt = 1 * ps;
+  const std::array<NodeId, 1> probes{line.far_end};
+
+  opt.solver = SolverKind::dense;
+  const auto dense = simulate(nl, opt, probes);
+  opt.solver = SolverKind::banded;
+  const auto banded = simulate(nl, opt, probes);
+  opt.solver = SolverKind::sparse;
+  const auto sparse = simulate(nl, opt, probes);
+
+  const auto& wd = dense.at(line.far_end);
+  const auto& wb = banded.at(line.far_end);
+  const auto& ws = sparse.at(line.far_end);
+  ASSERT_EQ(wd.size(), wb.size());
+  ASSERT_EQ(wd.size(), ws.size());
+  for (std::size_t k = 0; k < wd.size(); ++k) {
+    EXPECT_NEAR(wd.value(k), wb.value(k), 1e-10);
+    EXPECT_NEAR(wd.value(k), ws.value(k), 1e-10);
+  }
+}
+
 TEST(Transient, ProbeValidation) {
   Netlist nl;
   const NodeId in = nl.node("in");

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Cross-solver smoke diff for rlceff_cli --json output.
+
+Usage: check_solver_smoke.py auto.json dense.json banded.json sparse.json
+
+The same deck is run with --reference under each --solver override; this
+script asserts that every run succeeded, that each forced run reports the
+forced backend on every reference-backed net, and that the model and
+reference delay/slew figures agree across backends to well under the printed
+precision (the backends themselves agree to LU roundoff, so any visible
+divergence is a solver bug, not noise).
+"""
+import json
+import sys
+
+TOL_PS = 0.01  # generous vs the ~1e-5 ps the backends actually differ by
+
+
+def fail(msg):
+    print(f"solver smoke: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("failed", 1) != 0:
+        fail(f"{path}: {doc.get('failed')} net(s) failed")
+    for net in doc["nets"]:
+        if not net.get("ok"):
+            fail(f"{path}: net {net.get('label')} not ok")
+        for key in ("solver", "ref_delay_ps", "ref_slew_ps", "delay_ps", "slew_ps"):
+            if key not in net:
+                fail(f"{path}: net {net.get('label')} missing '{key}'")
+    return doc["nets"]
+
+
+def main(argv):
+    if len(argv) != 5:
+        fail("expected 4 json files: auto dense banded sparse")
+    runs = {name: load(path)
+            for name, path in zip(("auto", "dense", "banded", "sparse"), argv[1:])}
+
+    baseline = runs["auto"]
+    for name, nets in runs.items():
+        if [n["label"] for n in nets] != [n["label"] for n in baseline]:
+            fail(f"{name}: net list differs from the auto run")
+        for net in nets:
+            if name != "auto" and net["solver"] != name:
+                fail(f"{name}: net {net['label']} reports solver "
+                     f"'{net['solver']}', expected '{name}'")
+        for net, ref in zip(nets, baseline):
+            for key in ("delay_ps", "slew_ps", "ref_delay_ps", "ref_slew_ps"):
+                if abs(net[key] - ref[key]) > TOL_PS:
+                    fail(f"{name}: net {net['label']} {key} = {net[key]} "
+                         f"vs auto {ref[key]} (tol {TOL_PS} ps)")
+
+    solvers = sorted({n["solver"] for n in baseline})
+    print(f"solver smoke OK: {len(baseline)} nets agree across "
+          f"auto/dense/banded/sparse (auto picked: {', '.join(solvers)})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -55,6 +55,11 @@
 //     --threads <n>      sweep pool width (default: hardware concurrency)
 //     --json             machine-readable output (per-net delay/slew/noise
 //                        and error slots) instead of the text table
+//     --solver <kind>    linear-solver backend for reference transients:
+//                        auto (default; picks dense, banded or sparse from
+//                        the deck's size and sparsity), or an explicit
+//                        dense|banded|sparse to force one.  --json reports
+//                        the backend per reference-backed net
 //     --deadline-ms <t>  per-net wall-clock budget; a net that exceeds it
 //                        fails with error code deadline_exceeded (exit 2)
 //     --max-steps <n>    per-net transient step budget (reference runs);
@@ -76,6 +81,7 @@
 #include <vector>
 
 #include "api/engine.h"
+#include "sim/transient.h"
 #include "tech/wire.h"
 #include "util/units.h"
 
@@ -94,12 +100,14 @@ struct CliOptions {
   double deadline_ms = 0.0;      // <= 0: unlimited
   long long max_steps = 0;       // <= 0: unlimited
   unsigned n_threads = 0;
+  sim::SolverKind solver = sim::SolverKind::automatic;
 };
 
 void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--library <path>] [--grid small|standard] "
-               "[--reference] [--threads <n>] [--json] [--deadline-ms <t>] "
+               "[--reference] [--threads <n>] [--json] "
+               "[--solver auto|dense|banded|sparse] [--deadline-ms <t>] "
                "[--max-steps <n>] [--degrade] <deck-file>\n",
                argv0);
 }
@@ -131,6 +139,15 @@ bool parse_args(int argc, char** argv, CliOptions& opt) {
       const char* v = next();
       if (v == nullptr) return false;
       opt.n_threads = static_cast<unsigned>(std::atoi(v));
+    } else if (arg == "--solver") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      try {
+        opt.solver = sim::solver_kind_from_string(v);
+      } catch (const Error& e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return false;
+      }
     } else if (arg == "--deadline-ms") {
       const char* v = next();
       if (v == nullptr || !parse_number(v, opt.deadline_ms) || opt.deadline_ms <= 0.0) {
@@ -542,6 +559,9 @@ void print_json(const CliOptions& cli, const std::vector<DeckNet>& slots,
       std::printf(", \"coupled\": true, \"delay_pushout_model_ps\": %.4f",
                   r.delay_pushout_model / ps);
     }
+    if (r.has_solver) {
+      std::printf(", \"solver\": \"%s\"", sim::to_string(r.solver));
+    }
     if (r.has_reference) {
       std::printf(", \"ref_delay_ps\": %.4f, \"ref_slew_ps\": %.4f",
                   r.ref_near.delay / ps, r.ref_near.slew / ps);
@@ -682,6 +702,7 @@ int main(int argc, char** argv) {
     r.input_slew = net.slew_ps * ps;
     r.reference = cli.reference;
     r.far_end = false;
+    r.solver = cli.solver;
     r.budget.wall_limit_s = cli.deadline_ms * 1e-3;
     r.budget.max_transient_steps = cli.max_steps;
     r.degrade.enabled = cli.degrade;
