@@ -53,6 +53,21 @@ void validate(const Request& r) {
   }
 }
 
+// Runs the request's static-diagnostics pass (Request::lint).  The Eq 9
+// driver context defaults from the request itself: a static Thevenin Rs from
+// the cell size and the input slew standing in for the converged first-ramp
+// time.
+lint::Report run_lint(const Request& request, const tech::Technology& technology) {
+  lint::Options checks = request.lint.checks;
+  if (!(checks.driver_resistance > 0.0)) {
+    checks.driver_resistance =
+        lint::estimate_driver_resistance(technology, request.cell_size);
+  }
+  if (!(checks.input_slew > 0.0)) checks.input_slew = request.input_slew;
+  return request.coupled() ? lint::lint_group(request.group, checks)
+                           : lint::lint_net(request.net, checks);
+}
+
 // Maps a coupled api::Request onto the core experiment case: the aggressor
 // list (indexed by group net, victim slot ignored) defaults every unnamed
 // net to a quiet neighbor.
@@ -105,6 +120,31 @@ Response Engine::model_or_throw(const Request& request, const BatchOptions& opti
                                 util::ExecTracker* budget, std::size_t slot,
                                 bool run_hook) {
   validate(request);
+
+  // Admission screen: reject statically-broken work before any
+  // characterization lookup or solve.  lint_rejected is deliberately not on
+  // the degradable-code list — a screened-out request is wrong input, and
+  // retrying or degrading it would just re-lint the same net.
+  std::vector<lint::Diagnostic> diagnostics;
+  if (request.lint.screen || request.lint.report) {
+    lint::Report report = run_lint(request, technology_);
+    if (request.lint.screen && !report.diagnostics.empty() &&
+        report.worst() >= request.lint.fail_at) {
+      std::size_t gating = 0;
+      std::string first;
+      for (const lint::Diagnostic& d : report.diagnostics) {
+        if (d.severity < request.lint.fail_at) continue;
+        if (gating++ == 0) first = lint::format(d);
+      }
+      throw LintRejectedError(
+          "api::Engine: request '" + request.label + "': rejected by the lint "
+          "screen (" + std::to_string(gating) + " finding(s) at or above " +
+          lint::to_string(request.lint.fail_at) + "): " + first,
+          std::move(report.diagnostics));
+    }
+    if (request.lint.report) diagnostics = std::move(report.diagnostics);
+  }
+
   if (budget) budget->check("api::Engine slot");
   if (run_hook && options.debug_slot_fault) {
     util::ExecTracker unbudgeted;
@@ -123,6 +163,7 @@ Response Engine::model_or_throw(const Request& request, const BatchOptions& opti
 
   Response response;
   response.label = request.label;
+  response.diagnostics = std::move(diagnostics);
 
   if (request.coupled()) {
     response.has_coupling = true;

@@ -13,6 +13,7 @@ const char* to_string(ErrorCode code) {
     case ErrorCode::internal_error: return "internal_error";
     case ErrorCode::deadline_exceeded: return "deadline_exceeded";
     case ErrorCode::resource_exhausted: return "resource_exhausted";
+    case ErrorCode::lint_rejected: return "lint_rejected";
   }
   return "internal_error";
 }
@@ -28,6 +29,9 @@ ErrorInfo describe_failure(std::exception_ptr error, std::string scenario) {
     std::rethrow_exception(std::move(error));
   } catch (const InvalidRequestError& e) {
     info.code = ErrorCode::invalid_request;
+    info.message = e.what();
+  } catch (const LintRejectedError& e) {
+    info.code = ErrorCode::lint_rejected;
     info.message = e.what();
   } catch (const DeadlineError& e) {
     // CancelledError derives from DeadlineError: both are "ran out of time".

@@ -14,7 +14,9 @@
 #include <optional>
 #include <string>
 #include <utility>
+#include <vector>
 
+#include "lint/diagnostic.h"
 #include "util/error.h"
 
 namespace rlceff::api {
@@ -29,6 +31,9 @@ enum class ErrorCode {
   deadline_exceeded,    // wall-clock budget expired or the slot was cancelled
                         // (DeadlineError / CancelledError, util/budget.h)
   resource_exhausted,   // a step/iteration budget ran out (BudgetError)
+  lint_rejected,        // the admission screen (Request::lint.screen) found
+                        // diagnostics at or above the configured severity;
+                        // the slot never reached a solver.  Never degradable.
 };
 
 const char* to_string(ErrorCode code);
@@ -46,6 +51,19 @@ struct ErrorInfo {
 class InvalidRequestError : public Error {
 public:
   explicit InvalidRequestError(const std::string& what) : Error(what) {}
+};
+
+// Raised by the Engine's admission screen; maps to ErrorCode::lint_rejected
+// and carries the full diagnostic list so callers can render every finding,
+// not just the first.
+class LintRejectedError : public Error {
+public:
+  LintRejectedError(const std::string& what, std::vector<lint::Diagnostic> diagnostics)
+      : Error(what), diagnostics_(std::move(diagnostics)) {}
+  const std::vector<lint::Diagnostic>& diagnostics() const { return diagnostics_; }
+
+private:
+  std::vector<lint::Diagnostic> diagnostics_;
 };
 
 // Classifies a captured exception onto the ErrorCode taxonomy.

@@ -16,6 +16,7 @@
 
 #include "api/outcome.h"
 #include "charlib/characterize.h"
+#include "lint/lint.h"
 #include "core/coupled_experiment.h"
 #include "core/driver_model.h"
 #include "core/experiment.h"
@@ -70,6 +71,37 @@ struct DegradePolicy {
   bool enabled = false;
   double retry_damping = 0.5;  // convergence retry damping; <= 0 skips retry
   bool moments_floor = true;   // allow the moments_only floor tier
+};
+
+// Static-diagnostics controls for one request (src/lint/): the admission
+// screen a production timing service runs before spending a single solve.
+//   screen — lint the request's net/group up front; findings at or above
+//     fail_at reject the slot with ErrorCode::lint_rejected *before* any
+//     characterization lookup or transient, preserving per-slot isolation
+//     (the rejection is never retried or degraded — the input is wrong, not
+//     the execution).  The default checks are the structural core only
+//     (connectivity + physicality, a branch-tree walk costing nanoseconds),
+//     which is what keeps screening a batch under 1% of its model-only cost.
+//   report — attach every finding to Response::diagnostics on success (and
+//     run the deeper passes the checks request), for callers that want the
+//     advisory output without the gate.
+// The engine fills the Eq 9 driver context of `checks` from the request
+// (estimated Rs from the cell size, the input slew as the Tr1 proxy) unless
+// the caller already set it.
+struct LintOptions {
+  // The structural core alone (conditioning/model passes off): the default
+  // `checks`, and what keeps screening a batch under 1% of its runtime.
+  static lint::Options structural_only() {
+    lint::Options checks;
+    checks.conditioning = false;
+    checks.model = false;
+    return checks;
+  }
+
+  bool screen = false;
+  bool report = false;
+  lint::Severity fail_at = lint::Severity::error;
+  lint::Options checks = structural_only();
 };
 
 // One aggressor in a coupled request: which group net it drives, how hard,
@@ -129,6 +161,10 @@ struct Request {
 
   // Retry-and-degrade policy (see DegradePolicy above).  Default-off.
   DegradePolicy degrade;
+
+  // Static-diagnostics admission screen / report (see LintOptions above).
+  // Default-off: requests run exactly as they did before lint existed.
+  LintOptions lint;
 };
 
 struct Response {
@@ -165,6 +201,10 @@ struct Response {
   // slots never run a transient, so they report no solver.
   bool has_solver = false;
   sim::SolverKind solver = sim::SolverKind::automatic;
+
+  // Static diagnostics collected by the lint pass (Request::lint.report);
+  // empty when reporting was not requested.
+  std::vector<lint::Diagnostic> diagnostics;
 
   double elapsed_s = 0.0;  // wall time spent on this slot
 

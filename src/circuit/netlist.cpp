@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "lint/diagnostic.h"
 #include "util/error.h"
 
 namespace rlceff::ckt {
@@ -27,18 +28,21 @@ NodeId Netlist::check(NodeId n) const {
 }
 
 void Netlist::add_resistor(NodeId a, NodeId b, double resistance) {
-  ensure(resistance > 0.0, "Netlist: resistance must be positive");
+  lint::ensure_diag(resistance > 0.0, lint::Code::nonpositive_resistance, "",
+                    "Netlist: resistance must be positive");
   resistors_.push_back({check(a), check(b), resistance});
 }
 
 void Netlist::add_capacitor(NodeId a, NodeId b, double capacitance) {
-  ensure(capacitance >= 0.0, "Netlist: capacitance must be non-negative");
+  lint::ensure_diag(capacitance >= 0.0, lint::Code::nonpositive_capacitance, "",
+                    "Netlist: capacitance must be non-negative");
   if (capacitance == 0.0) return;
   capacitors_.push_back({check(a), check(b), capacitance});
 }
 
 void Netlist::add_inductor(NodeId a, NodeId b, double inductance) {
-  ensure(inductance > 0.0, "Netlist: inductance must be positive");
+  lint::ensure_diag(inductance > 0.0, lint::Code::negative_inductance, "",
+                    "Netlist: inductance must be positive");
   inductors_.push_back({check(a), check(b), inductance});
 }
 
@@ -48,8 +52,9 @@ void Netlist::add_mutual_inductor(std::size_t la, std::size_t lb, double mutual)
   ensure(la != lb, "Netlist: mutual inductor must couple two distinct inductors");
   const double limit =
       std::sqrt(inductors_[la].inductance * inductors_[lb].inductance);
-  ensure(std::isfinite(mutual) && mutual != 0.0 && std::abs(mutual) < limit,
-         "Netlist: mutual inductance must satisfy 0 < |M| < sqrt(La*Lb)");
+  lint::ensure_diag(std::isfinite(mutual) && mutual != 0.0 && std::abs(mutual) < limit,
+                    lint::Code::mutual_overcoupled, "",
+                    "Netlist: mutual inductance must satisfy 0 < |M| < sqrt(La*Lb)");
   // K elements on the same inductor pair sum; the aggregate must stay under
   // the passivity limit too.
   double total = std::abs(mutual);
@@ -58,9 +63,9 @@ void Netlist::add_mutual_inductor(std::size_t la, std::size_t lb, double mutual)
       total += std::abs(m.mutual);
     }
   }
-  ensure(total < limit,
-         "Netlist: mutual inductance on this inductor pair accumulates past "
-         "sqrt(La*Lb) (non-passive)");
+  lint::ensure_diag(total < limit, lint::Code::mutual_overcoupled, "",
+                    "Netlist: mutual inductance on this inductor pair accumulates "
+                    "past sqrt(La*Lb) (non-passive)");
   mutuals_.push_back({la, lb, mutual});
 }
 

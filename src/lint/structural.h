@@ -1,0 +1,33 @@
+// Structural (connectivity + physicality) checks over a net::Branch tree.
+//
+// This is the throw-free core both faces of the taxonomy share:
+//   * net::Net's constructor calls validate_branch_tree(), which raises
+//     DiagnosticError on the first error-severity finding — same walk order,
+//     same element naming, same message wording as the pre-lint validation,
+//   * lint::lint_net() calls check_branch_tree(), which collects every
+//     finding so a report can show all defects at once.
+// Working on the raw Branch tree (pre-construction) is deliberate: the
+// testkit mutation oracles corrupt a tree and must be able to lint it even
+// though net::Net would refuse to construct it.
+#ifndef RLCEFF_LINT_STRUCTURAL_H
+#define RLCEFF_LINT_STRUCTURAL_H
+
+#include <vector>
+
+#include "lint/diagnostic.h"
+#include "net/net.h"
+
+namespace rlceff::lint {
+
+// Appends one Diagnostic per defect, in the constructor's walk order (root
+// first, sections near-to-far, then children depth-first).  Emits only
+// error-severity findings; never throws.
+void check_branch_tree(const net::Branch& root, std::vector<Diagnostic>& out);
+
+// Throws DiagnosticError carrying the first finding check_branch_tree would
+// report; returns normally on a clean tree.  This is net::Net's validator.
+void validate_branch_tree(const net::Branch& root);
+
+}  // namespace rlceff::lint
+
+#endif  // RLCEFF_LINT_STRUCTURAL_H

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "lint/diagnostic.h"
 #include "util/error.h"
 
 namespace rlceff::net {
@@ -46,7 +47,9 @@ CoupledGroup CoupledGroup::single(Net net, std::string label) {
 }
 
 std::size_t CoupledGroup::add_net(Net net, std::string label) {
-  ensure(!net.empty(), "net::CoupledGroup: cannot add an empty net");
+  lint::ensure_diag(!net.empty(), lint::Code::empty_net, "",
+                    "cannot add an empty net to a coupled group",
+                    "construct the member net before adding it");
   auto taken = [&](const std::string& candidate) {
     for (const std::string& existing : labels_) {
       if (existing == candidate) return true;
@@ -99,19 +102,21 @@ void CoupledGroup::validate_pair(const char* what, const SectionRef& a,
 
 void CoupledGroup::couple_capacitance(SectionRef a, SectionRef b, double capacitance) {
   validate_pair("coupling cap", a, b);
-  ensure(std::isfinite(capacitance) && capacitance > 0.0,
-         "net::CoupledGroup: coupling cap between " + describe(a) + " and " +
-             describe(b) + " has non-physical capacitance (" + fmt(capacitance) +
-             " F)");
+  lint::ensure_diag(std::isfinite(capacitance) && capacitance > 0.0,
+                    lint::Code::nonpositive_capacitance,
+                    "coupling cap between " + describe(a) + " and " + describe(b),
+                    "has non-physical capacitance (" + fmt(capacitance) + " F)",
+                    "coupling capacitance must be finite and > 0");
   coupling_caps_.push_back({a, b, capacitance});
 }
 
 void CoupledGroup::couple_inductance(SectionRef a, SectionRef b, double k) {
   validate_pair("mutual inductance", a, b);
-  ensure(std::isfinite(k) && k > 0.0 && k < 1.0,
-         "net::CoupledGroup: mutual inductance between " + describe(a) + " and " +
-             describe(b) + " has coupling coefficient " + fmt(k) +
-             " outside (0, 1)");
+  lint::ensure_diag(std::isfinite(k) && k > 0.0 && k < 1.0,
+                    lint::Code::mutual_overcoupled,
+                    "mutual inductance between " + describe(a) + " and " + describe(b),
+                    "has coupling coefficient " + fmt(k) + " outside (0, 1)",
+                    "k = M / sqrt(La*Lb) must stay strictly inside (0, 1)");
   for (const SectionRef& r : {a, b}) {
     std::size_t cursor = 0;
     with_section(nets_[r.net].root(), cursor, r.section, [&](const Section& s) {
@@ -131,10 +136,11 @@ void CoupledGroup::couple_inductance(SectionRef a, SectionRef b, double k) {
                        m.b.net == a.net && m.b.section == a.section);
     if (same) total += m.k;
   }
-  ensure(total < 1.0,
-         "net::CoupledGroup: mutual inductance between " + describe(a) + " and " +
-             describe(b) + " accumulates to coupling coefficient " + fmt(total) +
-             " >= 1 (non-passive)");
+  lint::ensure_diag(total < 1.0, lint::Code::mutual_overcoupled,
+                    "mutual inductance between " + describe(a) + " and " + describe(b),
+                    "accumulates to coupling coefficient " + fmt(total) +
+                        " >= 1 (non-passive)",
+                    "|M| must stay below sqrt(La*Lb); reduce k or split the span");
   mutuals_.push_back({a, b, k});
 }
 

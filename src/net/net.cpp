@@ -1,74 +1,14 @@
 #include "net/net.h"
 
 #include <cmath>
-#include <cstdio>
-#include <unordered_set>
 
+#include "lint/structural.h"
 #include "moments/admittance.h"
 #include "util/error.h"
 
 namespace rlceff::net {
 
 namespace {
-
-std::string fmt(double v) {
-  char buf[32];
-  std::snprintf(buf, sizeof buf, "%g", v);
-  return buf;
-}
-
-// Branch paths in error messages read "root", "root/1", "root/1/0", ...
-std::string child_path(const std::string& parent, std::size_t index) {
-  return parent + "/" + std::to_string(index);
-}
-
-void validate_section(const Section& s, const std::string& branch_path,
-                      std::size_t index) {
-  const std::string where =
-      "net::Net: section " + std::to_string(index) + " of branch '" + branch_path + "'";
-  ensure(std::isfinite(s.resistance) && std::isfinite(s.inductance) &&
-             std::isfinite(s.capacitance),
-         where + " has non-finite parasitics");
-  ensure(s.inductance >= 0.0,
-         where + " has negative inductance (" + fmt(s.inductance) + " H)");
-  if (s.kind == SectionKind::distributed) {
-    // Distributed sections are real wire: they must carry loss and charge
-    // (this is what ckt::append_rlc_ladder requires to discretize them).
-    ensure(s.resistance > 0.0,
-           where + " has zero/negative resistance (" + fmt(s.resistance) + " ohm)");
-    ensure(s.capacitance > 0.0,
-           where + " has zero/negative capacitance (" + fmt(s.capacitance) + " F)");
-  } else {
-    ensure(s.resistance >= 0.0,
-           where + " has negative resistance (" + fmt(s.resistance) + " ohm)");
-    ensure(s.capacitance >= 0.0,
-           where + " has negative capacitance (" + fmt(s.capacitance) + " F)");
-    ensure(s.resistance > 0.0 || s.inductance > 0.0 || s.capacitance > 0.0,
-           where + " is a zero-length segment (R = L = C = 0)");
-  }
-}
-
-void validate_branch(const Branch& branch, const std::string& path,
-                     std::unordered_set<std::string>& probe_names) {
-  // A branch contributing no wire, no fan-out, and no load would compile to
-  // a phantom leaf at its parent junction.
-  ensure(!branch.sections.empty() || !branch.children.empty() || branch.c_load > 0.0,
-         "net::Net: branch '" + path + "' is empty (no sections, children, or load)");
-  for (std::size_t k = 0; k < branch.sections.size(); ++k) {
-    validate_section(branch.sections[k], path, k);
-  }
-  ensure(std::isfinite(branch.c_load) && branch.c_load >= 0.0,
-         "net::Net: branch '" + path + "' has a negative/non-finite load (" +
-             fmt(branch.c_load) + " F)");
-  if (!branch.probe.empty()) {
-    ensure(probe_names.insert(branch.probe).second,
-           "net::Net: duplicate probe name '" + branch.probe + "' at branch '" + path +
-               "'");
-  }
-  for (std::size_t k = 0; k < branch.children.size(); ++k) {
-    validate_branch(branch.children[k], child_path(path, k), probe_names);
-  }
-}
 
 double branch_capacitance(const Branch& branch) {
   double c = branch.c_load;
@@ -134,11 +74,10 @@ Branch branch_from_tree(const moments::RlcBranch& tree) {
 }  // namespace
 
 Net::Net(Branch root) : root_(std::move(root)) {
-  ensure(!root_.sections.empty() || !root_.children.empty(),
-         "net::Net: empty net (no sections and no branches)");
-  std::unordered_set<std::string> probe_names;
-  validate_branch(root_, "root", probe_names);
-  ensure(branch_capacitance(root_) > 0.0, "net::Net: net has no capacitance");
+  // One validator for both reporting modes: the same structural checks
+  // lint::lint_net collects into a report raise DiagnosticError here (first
+  // error-severity finding, same walk order the pre-lint validation used).
+  lint::validate_branch_tree(root_);
 }
 
 Net Net::uniform_line(double resistance, double inductance, double capacitance,

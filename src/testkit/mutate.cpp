@@ -1,0 +1,310 @@
+#include "testkit/mutate.h"
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "lint/lint.h"
+#include "util/error.h"
+#include "util/units.h"
+
+namespace rlceff::testkit {
+
+namespace {
+
+using namespace rlceff::units;
+
+// Mutable walk of a branch tree: every branch (with its path) and every
+// section (with its owning branch), in the same depth-first order the
+// validation walk visits them.
+struct BranchSite {
+  net::Branch* branch = nullptr;
+  std::string path;
+};
+
+struct SectionSite {
+  net::Branch* branch = nullptr;
+  std::size_t index = 0;
+  std::string path;  // the owning branch's path
+};
+
+void collect_sites(net::Branch& branch, const std::string& path,
+                   std::vector<BranchSite>& branches,
+                   std::vector<SectionSite>& sections) {
+  branches.push_back({&branch, path});
+  for (std::size_t k = 0; k < branch.sections.size(); ++k) {
+    sections.push_back({&branch, k, path});
+  }
+  for (std::size_t k = 0; k < branch.children.size(); ++k) {
+    collect_sites(branch.children[k], path + "/" + std::to_string(k), branches,
+                  sections);
+  }
+}
+
+std::string section_site(const SectionSite& s) {
+  return "section " + std::to_string(s.index) + " of branch '" + s.path + "'";
+}
+
+// One diagnostics-or-empty line for failure messages.
+std::string dump(const lint::Report& report) {
+  if (report.diagnostics.empty()) return "(no findings)";
+  std::string out;
+  for (const lint::Diagnostic& d : report.diagnostics) {
+    if (!out.empty()) out += "; ";
+    out += lint::format(d);
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* to_string(MutationKind kind) {
+  switch (kind) {
+    case MutationKind::drop_branch: return "drop_branch";
+    case MutationKind::negate_capacitance: return "negate_capacitance";
+    case MutationKind::negate_inductance: return "negate_inductance";
+    case MutationKind::poison_value: return "poison_value";
+    case MutationKind::negate_load: return "negate_load";
+    case MutationKind::zero_section: return "zero_section";
+    case MutationKind::duplicate_probe: return "duplicate_probe";
+    case MutationKind::strip_capacitance: return "strip_capacitance";
+  }
+  return "unknown";
+}
+
+std::span<const MutationKind> all_mutations() {
+  static constexpr MutationKind kKinds[] = {
+      MutationKind::drop_branch,        MutationKind::negate_capacitance,
+      MutationKind::negate_inductance,  MutationKind::poison_value,
+      MutationKind::negate_load,        MutationKind::zero_section,
+      MutationKind::duplicate_probe,    MutationKind::strip_capacitance,
+  };
+  return kKinds;
+}
+
+MutationResult mutate_net(const net::Net& net, MutationKind kind, Rng& rng) {
+  MutationResult result;
+  result.tree = net.root();  // deep copy; the original net stays valid
+
+  std::vector<BranchSite> branches;
+  std::vector<SectionSite> sections;
+  collect_sites(result.tree, "root", branches, sections);
+  ensure(!sections.empty(), "testkit: mutate_net needs a net with sections");
+
+  auto pick_section = [&]() -> SectionSite& {
+    return sections[rng.uniform_index(sections.size())];
+  };
+
+  switch (kind) {
+    case MutationKind::drop_branch: {
+      std::vector<BranchSite*> leaves;
+      for (BranchSite& site : branches) {
+        if (site.branch->children.empty()) leaves.push_back(&site);
+      }
+      BranchSite& leaf = *leaves[rng.uniform_index(leaves.size())];
+      leaf.branch->sections.clear();
+      leaf.branch->c_load = 0.0;
+      leaf.branch->probe.clear();
+      // Emptying the only branch empties the whole net.
+      const bool whole_net = leaf.branch == &result.tree;
+      result.expected =
+          whole_net ? lint::Code::empty_net : lint::Code::empty_branch;
+      result.site = whole_net ? "the whole net" : "branch '" + leaf.path + "'";
+      break;
+    }
+    case MutationKind::negate_capacitance: {
+      SectionSite& s = pick_section();
+      net::Section& section = s.branch->sections[s.index];
+      section.capacitance = -section.capacitance;
+      result.expected = lint::Code::nonpositive_capacitance;
+      result.site = section_site(s);
+      break;
+    }
+    case MutationKind::negate_inductance: {
+      SectionSite& s = pick_section();
+      net::Section& section = s.branch->sections[s.index];
+      section.inductance = -section.inductance;
+      result.expected = lint::Code::negative_inductance;
+      result.site = section_site(s);
+      break;
+    }
+    case MutationKind::poison_value: {
+      SectionSite& s = pick_section();
+      s.branch->sections[s.index].resistance =
+          std::numeric_limits<double>::quiet_NaN();
+      result.expected = lint::Code::nonfinite_value;
+      result.site = section_site(s);
+      break;
+    }
+    case MutationKind::negate_load: {
+      std::vector<BranchSite*> loaded;
+      for (BranchSite& site : branches) {
+        if (site.branch->c_load > 0.0) loaded.push_back(&site);
+      }
+      if (loaded.empty()) {
+        result.tree.c_load = -20 * ff;
+        result.site = "branch 'root'";
+      } else {
+        BranchSite& site = *loaded[rng.uniform_index(loaded.size())];
+        site.branch->c_load = -site.branch->c_load;
+        result.site = "branch '" + site.path + "'";
+      }
+      result.expected = lint::Code::negative_load;
+      break;
+    }
+    case MutationKind::zero_section: {
+      SectionSite& s = pick_section();
+      s.branch->sections.push_back({0.0, 0.0, 0.0, net::SectionKind::lumped});
+      result.expected = lint::Code::zero_section;
+      result.site = "appended to branch '" + s.path + "'";
+      break;
+    }
+    case MutationKind::duplicate_probe: {
+      result.tree.probe = "dup";
+      if (result.tree.children.empty()) {
+        // Single-branch net: grow a (legal) probed stub to collide with.
+        net::Branch stub;
+        stub.sections.push_back({1.0, 0.0, 0.0, net::SectionKind::lumped});
+        stub.probe = "dup";
+        result.tree.children.push_back(std::move(stub));
+        result.site = "branch 'root' and a grown 'root/0' stub";
+      } else {
+        std::size_t index = 1 + rng.uniform_index(branches.size() - 1);
+        branches[index].branch->probe = "dup";
+        result.site = "branch 'root' and branch '" + branches[index].path + "'";
+      }
+      result.expected = lint::Code::duplicate_probe;
+      break;
+    }
+    case MutationKind::strip_capacitance: {
+      for (SectionSite& s : sections) {
+        net::Section& section = s.branch->sections[s.index];
+        // Lumped spans may carry zero C; distributed ones may not, so the
+        // stripped section switches kind to keep the planted defect unique.
+        section.kind = net::SectionKind::lumped;
+        section.capacitance = 0.0;
+      }
+      for (BranchSite& site : branches) site.branch->c_load = 0.0;
+      result.expected = lint::Code::no_capacitance;
+      result.site = "every section and load";
+      break;
+    }
+  }
+  return result;
+}
+
+void check_lint_clean(const net::Net& net) {
+  const lint::Report report = lint::lint_net(net);
+  if (report.count(lint::Severity::error) != 0) {
+    throw Error("lint_clean: valid generated net carries error diagnostics: " +
+                dump(report));
+  }
+}
+
+void check_lint_clean(const net::CoupledGroup& group) {
+  const lint::Report report = lint::lint_group(group);
+  if (report.count(lint::Severity::error) != 0) {
+    throw Error("lint_clean: valid generated group carries error diagnostics: " +
+                dump(report));
+  }
+}
+
+void check_lint_mutation(const net::Net& net, Rng rng) {
+  for (MutationKind kind : all_mutations()) {
+    const MutationResult m = mutate_net(net, kind, rng);
+    const std::string label =
+        std::string("mutation ") + to_string(kind) + " at " + m.site;
+
+    // Lint-report face: the collected findings must include the expected
+    // code at error severity.
+    const lint::Report report = lint::lint_branch(m.tree);
+    const lint::Diagnostic* found = report.find(m.expected);
+    if (found == nullptr) {
+      throw Error(label + ": lint missed expected code " +
+                  lint::to_string(m.expected) + "; findings: " + dump(report));
+    }
+    if (found->severity != lint::Severity::error) {
+      throw Error(label + ": expected code " + lint::to_string(m.expected) +
+                  " reported below error severity");
+    }
+
+    // Throw-on-construct face: the validating constructor must refuse the
+    // same tree with the same code.
+    try {
+      net::Net probe{net::Branch(m.tree)};
+      throw Error(label + ": net::Net accepted the mutated tree");
+    } catch (const lint::DiagnosticError& e) {
+      if (e.code() != m.expected) {
+        throw Error(label + ": construction threw " +
+                    lint::to_string(e.code()) + ", lint expects " +
+                    lint::to_string(m.expected) + " (" + e.what() + ")");
+      }
+    }
+  }
+}
+
+void check_lint_mutation_group(const net::CoupledGroup& group, Rng rng) {
+  ensure(group.size() >= 2, "testkit: group mutation needs >= 2 nets");
+  const net::SectionRef a{0, rng.uniform_index(group.section_count(0))};
+  const net::SectionRef b{1, rng.uniform_index(group.section_count(1))};
+
+  // Negative coupling capacitance through the validating API.
+  {
+    net::CoupledGroup mutated = group;
+    try {
+      mutated.couple_capacitance(a, b, -10 * ff);
+      throw Error("group mutation: couple_capacitance accepted a negative cap");
+    } catch (const lint::DiagnosticError& e) {
+      if (e.code() != lint::Code::nonpositive_capacitance) {
+        throw Error(std::string("group mutation: negative coupling cap threw ") +
+                    lint::to_string(e.code()) + " (" + e.what() + ")");
+      }
+    }
+  }
+
+  // Accumulated k >= 1: two 0.6 couplings on one pair cross the passivity
+  // bound regardless of what the generator already placed there.
+  {
+    net::CoupledGroup mutated = group;
+    try {
+      mutated.couple_inductance(a, b, 0.6);
+      mutated.couple_inductance(a, b, 0.6);
+      throw Error("group mutation: accumulated k >= 1 was accepted");
+    } catch (const lint::DiagnosticError& e) {
+      if (e.code() != lint::Code::mutual_overcoupled) {
+        throw Error(std::string("group mutation: overcoupled pair threw ") +
+                    lint::to_string(e.code()) + " (" + e.what() + ")");
+      }
+    }
+  }
+
+  // Near-limit (legal) coupling: top the pair's accumulated k up to 0.97 —
+  // inside (0, 1), inside the default 0.05 warn margin.  lint_group must
+  // warn with mutual_near_limit and still report the group clean (no
+  // error-severity findings).
+  {
+    net::CoupledGroup mutated = group;
+    double existing = 0.0;
+    for (const net::MutualCoupling& m : mutated.mutual_couplings()) {
+      const bool same = (m.a.net == a.net && m.a.section == a.section &&
+                         m.b.net == b.net && m.b.section == b.section) ||
+                        (m.a.net == b.net && m.a.section == b.section &&
+                         m.b.net == a.net && m.b.section == a.section);
+      if (same) existing += m.k;
+    }
+    mutated.couple_inductance(a, b, 0.97 - existing);
+    const lint::Report report = lint::lint_group(mutated);
+    if (!report.has(lint::Code::mutual_near_limit)) {
+      throw Error("group mutation: near-limit k = 0.97 did not warn "
+                  "mutual_near_limit; findings: " +
+                  dump(report));
+    }
+    if (report.count(lint::Severity::error) != 0) {
+      throw Error("group mutation: near-limit (legal) k raised error-severity "
+                  "findings: " +
+                  dump(report));
+    }
+  }
+}
+
+}  // namespace rlceff::testkit

@@ -1,0 +1,82 @@
+// Seeded defect injection for the lint oracles.
+//
+// A mutation plants exactly one defect at a random site in a copy of a
+// valid net's branch tree and names the lint::Code the static analyzer must
+// report for it.  The oracles then prove both faces of the taxonomy on the
+// same mutated tree:
+//   * lint-report — lint::lint_branch collects the expected code (the tree
+//     never reaches a constructor),
+//   * throw-on-construct — net::Net's validating constructor refuses the
+//     tree with a DiagnosticError carrying the same code.
+// Group defects go through net::CoupledGroup's own validating couple_* API
+// (coupling elements have no raw-tree back door), so those oracles check
+// the throw face only.
+//
+// Every mutation is a pure function of (net, kind, rng state): replaying a
+// seed replays the site choice, so a missed diagnostic reduces to one line.
+#ifndef RLCEFF_TESTKIT_MUTATE_H
+#define RLCEFF_TESTKIT_MUTATE_H
+
+#include <span>
+#include <string>
+
+#include "lint/diagnostic.h"
+#include "net/coupled.h"
+#include "net/net.h"
+#include "testkit/rng.h"
+
+namespace rlceff::testkit {
+
+// One defect kind per structural/physicality diagnostic the tree walk can
+// report.  Kinds are chosen so each plants a single defect — the first
+// error the construction-time walk meets is the one the mutation names.
+enum class MutationKind {
+  drop_branch,         // empty a random leaf -> empty_branch (empty_net when
+                       // the root is the only branch)
+  negate_capacitance,  // flip one section's C negative -> nonpositive_capacitance
+  negate_inductance,   // flip one section's L negative -> negative_inductance
+  poison_value,        // NaN one section's R -> nonfinite_value
+  negate_load,         // flip one receiver load negative -> negative_load
+  zero_section,        // append a lumped R=L=C=0 segment -> zero_section
+  duplicate_probe,     // two branches claim one probe name -> duplicate_probe
+  strip_capacitance,   // remove every C and load -> no_capacitance
+};
+
+const char* to_string(MutationKind kind);
+// Every kind, in enum order (the mutation oracle sweeps all of them per seed).
+std::span<const MutationKind> all_mutations();
+
+struct MutationResult {
+  net::Branch tree;    // the mutated copy (may be unconstructible — that is
+                       // the point)
+  lint::Code expected = lint::Code::invalid_input;  // what lint must report
+  std::string site;    // human description of the planted location
+};
+
+// Applies `kind` at a site drawn from `rng` to a copy of net.root().
+MutationResult mutate_net(const net::Net& net, MutationKind kind, Rng& rng);
+
+// Lint oracles (throw rlceff::Error on violation, like testkit/oracles.h):
+
+// A generator-valid net/group must carry zero error-severity findings under
+// the full lint pass (deep conditioning + model families included; warn and
+// info findings are expected and allowed).
+void check_lint_clean(const net::Net& net);
+void check_lint_clean(const net::CoupledGroup& group);
+
+// For every MutationKind: mutate, require lint_branch to report the
+// expected code at error severity, and require net::Net construction to
+// refuse the same tree with a DiagnosticError carrying the same code.
+void check_lint_mutation(const net::Net& net, Rng rng);
+
+// Group defects through the validating API: a negative coupling cap must
+// raise nonpositive_capacitance and an inductive coefficient that pushes a
+// pair's accumulated k to >= 1 must raise mutual_overcoupled — both as
+// DiagnosticError, both naming the section pair.  Also: a near-limit (but
+// legal) accumulated k must surface as a mutual_near_limit warning in
+// lint_group without failing clean().
+void check_lint_mutation_group(const net::CoupledGroup& group, Rng rng);
+
+}  // namespace rlceff::testkit
+
+#endif  // RLCEFF_TESTKIT_MUTATE_H

@@ -472,5 +472,81 @@ TEST(EngineCache, WarmCacheAndLibraryRoundTrip) {
   std::remove(path.c_str());
 }
 
+// ------------------------------------------------- lint admission screen ---
+
+TEST_F(EngineFixture, LintOffByDefaultAndReportLeavesModelUntouched) {
+  // Default request: no screen, no report, no diagnostics on the response.
+  const Response plain =
+      engine_->model(inductive_request("lint-off"), fast_options()).value();
+  EXPECT_TRUE(plain.diagnostics.empty());
+
+  // Opting into the report (deep passes on) attaches findings — here the
+  // conditioning advisory and the Eq 9 verdict — without changing the model.
+  Request req = inductive_request("lint-report");
+  req.lint.report = true;
+  req.lint.checks = lint::Options{};  // conditioning + model passes
+  const Response reported = engine_->model(req, fast_options()).value();
+  ASSERT_FALSE(reported.diagnostics.empty());
+  bool advisory = false;
+  bool eq9 = false;
+  for (const lint::Diagnostic& d : reported.diagnostics) {
+    advisory |= d.code == lint::Code::solver_advisory;
+    eq9 |= d.code == lint::Code::inductance_significant ||
+           d.code == lint::Code::inductance_screened;
+    EXPECT_NE(lint::Severity::error, d.severity) << lint::format(d);
+  }
+  EXPECT_TRUE(advisory);
+  EXPECT_TRUE(eq9);  // the engine filled the Rs / Tr1 driver context
+  EXPECT_DOUBLE_EQ(plain.model.t50, reported.model.t50);
+  EXPECT_DOUBLE_EQ(plain.model_near.delay, reported.model_near.delay);
+}
+
+TEST_F(EngineFixture, LintScreenRejectsPerSlotAndNeverDegrades) {
+  // Slot 0: a legal but near-limit coupled pair (accumulated k = 0.97).  At
+  // fail_at = warn with the deep checks on, the screen must reject it before
+  // any solve — even with degradation enabled, because lint_rejected is
+  // deliberately not a degradable failure.
+  Request hot;
+  hot.label = "hot-pair";
+  {
+    net::CoupledGroup group;
+    group.add_net(inductive_net(), "victim");
+    group.add_net(inductive_net(), "aggr");
+    group.couple_inductance({0, 0}, {1, 0}, 0.97);
+    hot.group = std::move(group);
+  }
+  hot.victim = 0;
+  hot.noise = false;
+  hot.lint.screen = true;
+  hot.lint.report = true;
+  hot.lint.fail_at = lint::Severity::warn;
+  hot.lint.checks = lint::Options{};
+  hot.degrade.enabled = true;  // must not buy the rejected slot an answer
+
+  // Slot 1: the same screen on a healthy net passes untouched.
+  Request good = inductive_request("screened-good");
+  good.lint.screen = true;
+
+  std::vector<Request> requests;
+  requests.push_back(std::move(hot));
+  requests.push_back(std::move(good));
+  const std::vector<Outcome<Response>> results =
+      engine_->run_batch(requests, fast_options());
+  ASSERT_EQ(2u, results.size());
+
+  ASSERT_FALSE(results[0].ok());
+  EXPECT_EQ(ErrorCode::lint_rejected, results[0].error().code);
+  EXPECT_EQ("hot-pair", results[0].error().scenario);
+  EXPECT_NE(std::string::npos,
+            results[0].error().message.find("mutual_near_limit"))
+      << results[0].error().message;
+
+  ASSERT_TRUE(results[1].ok());
+  EXPECT_FALSE(results[1].value().degraded);
+  const Response clean =
+      engine_->model(inductive_request("screen-ref"), fast_options()).value();
+  EXPECT_DOUBLE_EQ(clean.model_near.delay, results[1].value().model_near.delay);
+}
+
 }  // namespace
 }  // namespace rlceff::api

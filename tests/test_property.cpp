@@ -35,6 +35,7 @@
 #include "api/engine.h"
 #include "sim/sweep.h"
 #include "testkit/generate.h"
+#include "testkit/mutate.h"
 #include "testkit/oracles.h"
 #include "testkit/replay.h"
 #include "testkit/rng.h"
@@ -271,6 +272,47 @@ TEST(PropertySuite, ValidationReporting) {
       return report("validation_reporting", seed, "(defect menu, see oracle)",
                     e.what(), nullptr);
     }
+  });
+}
+
+// Every generator-valid net must lint with zero error-severity findings
+// under the full pass (deep conditioning + model families included) — the
+// analyzer's false-positive gate, swept at 1100 instances per run.
+TEST(PropertySuite, LintClean) {
+  run_family("lint_clean", 1100, 1, [](std::uint64_t seed) {
+    return run_net_instance("lint_clean", seed, [](const net::Net& net, Rng) {
+      check_lint_clean(net);
+    });
+  });
+}
+
+TEST(PropertySuite, LintCleanGroup) {
+  run_family("lint_clean_group", 60, 1, [](std::uint64_t seed) {
+    return run_group_instance("lint_clean_group", seed,
+                              [](const GroupRecipe& recipe, Rng) {
+                                check_lint_clean(instantiate(recipe));
+                              });
+  });
+}
+
+// The analyzer's false-negative gate: every MutationKind planted in a valid
+// net must be caught by its expected code, on both faces of the taxonomy
+// (lint_branch report and net::Net construction refusal).
+TEST(PropertySuite, LintMutation) {
+  run_family("lint_mutation", 150, all_mutations().size(), [](std::uint64_t seed) {
+    return run_net_instance("lint_mutation", seed,
+                            [](const net::Net& net, Rng rng) {
+                              check_lint_mutation(net, rng);
+                            });
+  });
+}
+
+TEST(PropertySuite, LintMutationGroup) {
+  run_family("lint_mutation_group", 40, 3, [](std::uint64_t seed) {
+    return run_group_instance("lint_mutation_group", seed,
+                              [](const GroupRecipe& recipe, Rng rng) {
+                                check_lint_mutation_group(instantiate(recipe), rng);
+                              });
   });
 }
 

@@ -68,6 +68,24 @@
 //                        the fidelity ladder (Ceff model, then the moments-
 //                        only floor); degraded slots are flagged in the
 //                        output and do not count as failures
+//     --lint             lint-only mode: run the full static-diagnostics
+//                        pass (connectivity, physicality, conditioning,
+//                        model validity — src/lint/) over every slot without
+//                        simulating or characterizing anything.  Text mode
+//                        prints one formatted line per finding; --json emits
+//                        the diagnostics as structured records (code,
+//                        severity, family, path, message, hint).  Exit 0
+//                        when no slot has an error-severity finding, 2
+//                        otherwise (warn/info never fail the run)
+//     --lint-screen      normal run, but with the Engine admission screen
+//                        armed at warn severity and the deep passes enabled:
+//                        slots with warn-or-worse findings fail with error
+//                        code lint_rejected before any solve.  (Error-grade
+//                        structural breakage already fails at net
+//                        construction with invalid_request; the screen's
+//                        value here is catching the simulatable-but-
+//                        suspicious decks — near-limit coupling, extreme
+//                        stiffness — before they burn a solve.)
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -76,11 +94,13 @@
 #include <fstream>
 #include <functional>
 #include <map>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "api/engine.h"
+#include "lint/lint.h"
 #include "sim/transient.h"
 #include "tech/wire.h"
 #include "util/units.h"
@@ -101,6 +121,8 @@ struct CliOptions {
   long long max_steps = 0;       // <= 0: unlimited
   unsigned n_threads = 0;
   sim::SolverKind solver = sim::SolverKind::automatic;
+  bool lint = false;         // lint-only mode: diagnose, never simulate
+  bool lint_screen = false;  // normal run with the admission screen armed
 };
 
 void usage(const char* argv0) {
@@ -108,7 +130,8 @@ void usage(const char* argv0) {
                "usage: %s [--library <path>] [--grid small|standard] "
                "[--reference] [--threads <n>] [--json] "
                "[--solver auto|dense|banded|sparse] [--deadline-ms <t>] "
-               "[--max-steps <n>] [--degrade] <deck-file>\n",
+               "[--max-steps <n>] [--degrade] [--lint] [--lint-screen] "
+               "<deck-file>\n",
                argv0);
 }
 
@@ -164,6 +187,10 @@ bool parse_args(int argc, char** argv, CliOptions& opt) {
       }
     } else if (arg == "--degrade") {
       opt.degrade = true;
+    } else if (arg == "--lint") {
+      opt.lint = true;
+    } else if (arg == "--lint-screen") {
+      opt.lint_screen = true;
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
       return false;
@@ -530,6 +557,38 @@ const char* kind_name(core::ModelKind kind) {
   return "three-ramp";
 }
 
+// --lint --json document: one record per result slot, each diagnostic as a
+// structured object.  "failed" counts slots with at least one error-severity
+// finding (the exit-code contract: 0 when failed == 0, else 2).
+void print_lint_json(const CliOptions& cli, const std::vector<DeckNet>& slots,
+                     const std::vector<lint::Report>& reports,
+                     std::size_t failed) {
+  std::printf("{\n  \"deck\": \"%s\",\n  \"lint\": true,\n  \"nets\": [",
+              json_escape(cli.deck_path).c_str());
+  for (std::size_t k = 0; k < reports.size(); ++k) {
+    const lint::Report& report = reports[k];
+    std::printf("%s\n    {\"label\": \"%s\", \"ok\": %s, \"errors\": %zu, "
+                "\"warnings\": %zu, \"diagnostics\": [",
+                k == 0 ? "" : ",", json_escape(slots[k].label).c_str(),
+                report.clean() ? "true" : "false",
+                report.count(lint::Severity::error),
+                report.count(lint::Severity::warn));
+    for (std::size_t d = 0; d < report.diagnostics.size(); ++d) {
+      const lint::Diagnostic& diag = report.diagnostics[d];
+      std::printf("%s\n      {\"code\": \"%s\", \"severity\": \"%s\", "
+                  "\"family\": \"%s\", \"path\": \"%s\", \"message\": \"%s\", "
+                  "\"hint\": \"%s\"}",
+                  d == 0 ? "" : ",", lint::to_string(diag.code),
+                  lint::to_string(diag.severity), lint::family(diag.code),
+                  json_escape(diag.path).c_str(),
+                  json_escape(diag.message).c_str(),
+                  json_escape(diag.hint).c_str());
+    }
+    std::printf("%s]}", report.diagnostics.empty() ? "" : "\n    ");
+  }
+  std::printf("\n  ],\n  \"failed\": %zu\n}\n", failed);
+}
+
 void print_json(const CliOptions& cli, const std::vector<DeckNet>& slots,
                 const std::vector<std::string>& build_errors,
                 const std::vector<api::Outcome<api::Response>>& results,
@@ -693,6 +752,7 @@ int main(int argc, char** argv) {
   std::vector<DeckNet> slots;
   std::vector<api::Request> requests;
   std::vector<std::string> build_errors;
+  std::vector<std::optional<lint::Diagnostic>> build_diags;
   for (std::size_t k = 0; k < deck.nets.size(); ++k) {
     const DeckNet& net = deck.nets[k];
     if (deck.aggressors.count(net.label) != 0) continue;  // shapes victims only
@@ -706,7 +766,18 @@ int main(int argc, char** argv) {
     r.budget.wall_limit_s = cli.deadline_ms * 1e-3;
     r.budget.max_transient_steps = cli.max_steps;
     r.degrade.enabled = cli.degrade;
+    if (cli.lint_screen) {
+      // Arm the admission screen at warn severity with the deep passes on.
+      // Error-grade structural breakage already failed net construction
+      // above (invalid_request); what the screen adds is rejecting the
+      // simulatable-but-suspicious slots before they cost a solve.
+      r.lint.screen = true;
+      r.lint.report = true;
+      r.lint.fail_at = lint::Severity::warn;
+      r.lint.checks = lint::Options{};  // conditioning + model passes on
+    }
     std::string build_error;
+    std::optional<lint::Diagnostic> build_diag;
     try {
       if (component[k] == static_cast<std::size_t>(-1)) {
         r.net = build_net(net);
@@ -739,12 +810,18 @@ int main(int argc, char** argv) {
         r.victim = group.index_of(net.label);
         r.group = std::move(group);
       }
+    } catch (const lint::DiagnosticError& e) {
+      // A validating constructor refused the slot: keep the structured
+      // Diagnostic for --lint output as well as the message.
+      build_error = e.what();
+      build_diag = e.diagnostic();
     } catch (const Error& e) {
       build_error = e.what();
     }
     slots.push_back(net);
     requests.push_back(std::move(r));
     build_errors.push_back(std::move(build_error));
+    build_diags.push_back(std::move(build_diag));
   }
 
   if (requests.empty()) {
@@ -752,6 +829,53 @@ int main(int argc, char** argv) {
                          "aggressor)\n",
                  cli.deck_path.c_str());
     return 1;
+  }
+
+  // Lint-only mode: run the full static pass (structural core plus the
+  // conditioning and model families) per slot and exit — no engine run, no
+  // characterization, no transient.  A slot whose net construction already
+  // threw reports the refused Diagnostic (or an invalid_input record when
+  // the failure happened outside the taxonomy, e.g. the wire-model geometry
+  // checks).
+  if (cli.lint) {
+    std::vector<lint::Report> reports(requests.size());
+    for (std::size_t k = 0; k < requests.size(); ++k) {
+      if (build_diags[k].has_value()) {
+        reports[k].diagnostics.push_back(*build_diags[k]);
+      } else if (!build_errors[k].empty()) {
+        reports[k].diagnostics.push_back(lint::make_diagnostic(
+            lint::Code::invalid_input, "", build_errors[k],
+            "fix the deck line the message names"));
+      } else {
+        lint::Options checks;  // deep passes on: conditioning + model
+        checks.driver_resistance = lint::estimate_driver_resistance(
+            engine.technology(), requests[k].cell_size);
+        checks.input_slew = requests[k].input_slew;
+        reports[k] = requests[k].coupled()
+                         ? lint::lint_group(requests[k].group, checks)
+                         : lint::lint_net(requests[k].net, checks);
+      }
+    }
+    std::size_t lint_failed = 0;
+    for (const lint::Report& report : reports) {
+      if (!report.clean()) ++lint_failed;
+    }
+    if (cli.json) {
+      print_lint_json(cli, slots, reports, lint_failed);
+    } else {
+      for (std::size_t k = 0; k < reports.size(); ++k) {
+        const lint::Report& report = reports[k];
+        std::printf("%-12s %zu error(s), %zu warning(s), %zu note(s)\n",
+                    slots[k].label.c_str(), report.count(lint::Severity::error),
+                    report.count(lint::Severity::warn),
+                    report.count(lint::Severity::info));
+        for (const lint::Diagnostic& d : report.diagnostics) {
+          std::printf("    %s\n", lint::format(d).c_str());
+        }
+      }
+      std::printf("# %zu slot(s), %zu failed lint\n", reports.size(), lint_failed);
+    }
+    return lint_failed == 0 ? 0 : 2;
   }
 
   const std::vector<api::Outcome<api::Response>> results =
