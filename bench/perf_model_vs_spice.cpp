@@ -92,6 +92,10 @@ struct BatchTiming {
 BatchTiming time_engine_batch() {
   api::Engine engine{tech::Technology::cmos180()};
   api::BatchOptions opt;
+  // Pinned to one worker: engine_batch_nets_per_s is a trajectory metric, and
+  // letting the pool width float with the runner's core count made the series
+  // drift machine-to-machine.  Throughput here is per-core by definition.
+  opt.n_threads = 1;
   opt.grid.input_slews = {50 * ps, 100 * ps, 200 * ps};
   opt.grid.loads = {50 * ff, 200 * ff, 500 * ff, 1 * pf, 2 * pf, 4 * pf};
   engine.warm_cache({100.0}, opt.grid);

@@ -10,6 +10,8 @@
 #include "core/coupled_experiment.h"
 #include "core/experiment.h"
 #include "sim/sweep.h"
+#include "tier/analytical.h"
+#include "tier/router.h"
 #include "waveform/waveform.h"
 
 namespace rlceff::api {
@@ -51,6 +53,10 @@ void validate(const Request& r) {
   if (r.coupled() && r.one_ramp_baseline) {
     reject("the one-ramp baseline is a single-net comparison column");
   }
+  if (r.tier != tier::TierPolicy::reference && r.reference) {
+    reject("the reference flag is incompatible with a tier policy; use "
+           "TierPolicy::force_reference to pin Tier C");
+  }
 }
 
 // Runs the request's static-diagnostics pass (Request::lint).  The Eq 9
@@ -64,6 +70,9 @@ lint::Report run_lint(const Request& request, const tech::Technology& technology
         lint::estimate_driver_resistance(technology, request.cell_size);
   }
   if (!(checks.input_slew > 0.0)) checks.input_slew = request.input_slew;
+  if (checks.tier_policy == tier::TierPolicy::reference) {
+    checks.tier_policy = request.tier;
+  }
   return request.coupled() ? lint::lint_group(request.group, checks)
                            : lint::lint_net(request.net, checks);
 }
@@ -150,7 +159,17 @@ Response Engine::model_or_throw(const Request& request, const BatchOptions& opti
     util::ExecTracker unbudgeted;
     options.debug_slot_fault(slot, budget ? *budget : unbudgeted);
   }
-  const auto t0 = std::chrono::steady_clock::now();
+
+  // Multi-fidelity cascade: a non-default tier policy routes the slot from
+  // here, after the preamble (validation, lint screen, budget check, fault
+  // hook) every tier shares.  The inner attempts recurse into this function
+  // with the policy cleared.  (No elapsed stamp here: run_slot times the
+  // whole attempt ladder and overwrites elapsed_s on every path.)
+  if (request.tier != tier::TierPolicy::reference) {
+    Response response = tiered_response(request, options, budget, slot);
+    response.diagnostics = std::move(diagnostics);
+    return response;
+  }
 
   // Thread the armed budget into every layer this slot touches: the Ceff
   // fixed points (via the model options) and the transient step/Newton loops
@@ -226,8 +245,6 @@ Response Engine::model_or_throw(const Request& request, const BatchOptions& opti
       }
     }
     check_convergence(request, response.model);
-    response.elapsed_s =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
     return response;
   }
 
@@ -271,8 +288,6 @@ Response Engine::model_or_throw(const Request& request, const BatchOptions& opti
   }
 
   check_convergence(request, response.model);
-  response.elapsed_s =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
   return response;
 }
 
@@ -308,6 +323,126 @@ Response Engine::moments_only_response(const Request& request,
   return response;
 }
 
+Response Engine::analytical_response(const Request& request,
+                                     const BatchOptions& options,
+                                     tier::AnalyticalEstimate* estimate_out) {
+  const charlib::CharacterizedDriver& driver =
+      library_.ensure_driver(technology_, request.cell_size, options.grid);
+  Response response;
+  response.label = request.label;
+  response.fidelity = Fidelity::analytical;
+  response.tier = tier::Tier::analytical;
+  if (request.coupled()) {
+    response.has_coupling = true;
+    std::vector<double> factors(request.group.size(), 1.0);
+    for (const Aggressor& a : request.aggressors) {
+      factors[a.net] = core::miller_factor(a.switching);
+    }
+    tier::AnalyticalEstimate estimate = tier::analytical_estimate(
+        driver, request.input_slew,
+        request.group.decoupled_net(request.victim, factors));
+    response.model_near = {estimate.delay, estimate.slew_10_90};
+    const bool all_quiet = std::all_of(factors.begin(), factors.end(),
+                                       [](double f) { return f == 1.0; });
+    if (!all_quiet) {
+      const tier::AnalyticalEstimate base = tier::analytical_estimate(
+          driver, request.input_slew, request.group.decoupled_net(request.victim));
+      response.delay_pushout_model = estimate.delay - base.delay;
+    }
+    response.has_noise_bound = true;
+    response.noise_bound =
+        tier::noise_bound(request.group, request.victim, technology_.vdd);
+    response.model = std::move(estimate.model);
+    if (estimate_out) *estimate_out = std::move(estimate);
+  } else {
+    tier::AnalyticalEstimate estimate =
+        tier::analytical_estimate(driver, request.input_slew, request.net);
+    response.model_near = {estimate.delay, estimate.slew_10_90};
+    // Move, not copy: the waveform's points are the only allocation in the
+    // model and the admission screen only reads the scalar fields.
+    response.model = std::move(estimate.model);
+    if (estimate_out) *estimate_out = std::move(estimate);
+  }
+  return response;
+}
+
+Response Engine::tiered_response(const Request& request, const BatchOptions& options,
+                                 util::ExecTracker* budget, std::size_t slot) {
+  using tier::Tier;
+  using tier::TierPolicy;
+  const TierPolicy policy = request.tier;
+  std::size_t escalations = 0;
+
+  // One tier of the legacy ladder, served by recursing into model_or_throw
+  // with the policy cleared (the preamble — validation, lint, budget check,
+  // fault hook — already ran on the outer request).
+  auto serve = [&](bool reference_flag, Tier t, Fidelity f) {
+    Request inner = request;
+    inner.tier = TierPolicy::reference;
+    inner.reference = reference_flag;
+    inner.lint = LintOptions{};
+    Response r = model_or_throw(inner, options, budget, slot, false);
+    r.fidelity = f;
+    r.tier = t;
+    r.tier_escalations = escalations;
+    return r;
+  };
+
+  if (policy == TierPolicy::force_ceff) {
+    return serve(false, Tier::ceff, Fidelity::ceff_model);
+  }
+  if (policy == TierPolicy::force_reference) {
+    return serve(true, Tier::reference, Fidelity::reference);
+  }
+
+  // Tier A candidacy: the cheap topology screen first (coupled groups), the
+  // estimate-based screen once the estimate exists.  Forced Tier A skips
+  // admission entirely — that is what calibration wants.
+  tier::Admission admission;
+  if (request.coupled()) {
+    admission = tier::admit_group_analytical(request.group, request.victim);
+  }
+  if (policy == TierPolicy::force_analytical) {
+    tier::AnalyticalEstimate estimate;
+    Response a = analytical_response(request, options, &estimate);
+    a.tier_escalations = escalations;
+    return a;
+  }
+  if (admission.ok) {
+    // A closed form that throws (degenerate fit, stalled table fixed point)
+    // is just another refusal: the denser tiers own that net.  Budget and
+    // cancellation faults are not — they abort the slot like anywhere else.
+    try {
+      tier::AnalyticalEstimate estimate;
+      Response a = analytical_response(request, options, &estimate);
+      admission = tier::admit_analytical(estimate);
+      if (admission.ok) {
+        a.tier_escalations = escalations;
+        return a;
+      }
+    } catch (const DeadlineError&) {
+      throw;
+    } catch (const BudgetError&) {
+      throw;
+    } catch (const Error&) {
+      admission = {false, "estimate_failed"};
+    }
+  }
+
+  // Escalation A -> B; under balanced, a Tier B fixed point that cannot
+  // agree with itself escalates once more to the transient reference.
+  ++escalations;
+  if (policy == TierPolicy::fastest) {
+    return serve(false, Tier::ceff, Fidelity::ceff_model);
+  }
+  try {
+    return serve(false, Tier::ceff, Fidelity::ceff_model);
+  } catch (const ConvergenceError&) {
+    ++escalations;
+    return serve(true, Tier::reference, Fidelity::reference);
+  }
+}
+
 Outcome<Response> Engine::run_slot(const Request& request, const BatchOptions& options,
                                    std::size_t slot) {
   const auto t0 = std::chrono::steady_clock::now();
@@ -321,7 +456,13 @@ Outcome<Response> Engine::run_slot(const Request& request, const BatchOptions& o
       request.reference ? Fidelity::reference : Fidelity::ceff_model;
 
   auto finish = [&](Response r, Fidelity fidelity, bool degraded) {
-    r.fidelity = fidelity;
+    // Tiered slots stamp fidelity + tier inside tiered_response; the policy
+    // only overrides them when a degraded fallback actually answered.
+    if (request.tier == tier::TierPolicy::reference || degraded) {
+      r.fidelity = fidelity;
+      r.tier = fidelity == Fidelity::reference ? tier::Tier::reference
+                                               : tier::Tier::ceff;
+    }
     r.degraded = degraded;
     r.attempts = std::move(attempts);
     r.elapsed_s = elapsed();
@@ -415,9 +556,12 @@ std::vector<Outcome<Response>> Engine::run_batch(std::span<const Request> reques
   // using that size — without this, each such slot would re-run the full
   // characterization grid just to hit the same exception again.
   std::vector<double> sizes;
-  sizes.reserve(requests.size());
   for (const Request& r : requests) {
-    if (r.cell_size > 0.0) sizes.push_back(r.cell_size);
+    if (r.cell_size <= 0.0) continue;
+    const bool seen = std::any_of(sizes.begin(), sizes.end(), [&](double s) {
+      return std::abs(s - r.cell_size) < 1e-9;
+    });
+    if (!seen) sizes.push_back(r.cell_size);
   }
   const std::vector<double> missing = collect_missing(sizes);
   const std::vector<std::exception_ptr> errors = sim::run_indexed_sweep_collect(
@@ -434,29 +578,27 @@ std::vector<Outcome<Response>> Engine::run_batch(std::span<const Request> reques
   };
 
   // Fan the slots out with the full per-slot policy (budget arming, retry,
-  // degradation).  run_slot never throws for per-scenario failures; the
-  // collect is belt-and-braces against anything escaping the policy itself.
-  std::vector<std::optional<Outcome<Response>>> outcomes(requests.size());
+  // degradation).  The workers write straight into the pre-sized results
+  // vector — an Outcome<Response> is ~1 KB, and routing it through a second
+  // staging container costs a full copy round per slot at Tier A rates.
+  // run_slot never throws for per-scenario failures; the collect is
+  // belt-and-braces against anything escaping the policy itself.
+  std::vector<Outcome<Response>> results(requests.size(),
+                                         Outcome<Response>(ErrorInfo{}));
   const std::vector<std::exception_ptr> escapes = sim::run_indexed_sweep_collect(
       requests.size(),
       [&](std::size_t i) {
         const Request& r = requests[i];
         if (std::exception_ptr e = characterization_failure(r.cell_size)) {
-          ErrorInfo info = describe_failure(e, r.label);
-          outcomes[i] = Outcome<Response>(std::move(info));
+          results[i] = Outcome<Response>(describe_failure(e, r.label));
           return;
         }
-        outcomes[i] = run_slot(r, options, i);
+        results[i] = run_slot(r, options, i);
       },
       options.n_threads);
-
-  std::vector<Outcome<Response>> results;
-  results.reserve(requests.size());
   for (std::size_t i = 0; i < requests.size(); ++i) {
-    if (outcomes[i].has_value()) {
-      results.emplace_back(std::move(*outcomes[i]));
-    } else {
-      results.emplace_back(describe_failure(escapes[i], requests[i].label));
+    if (escapes[i]) {
+      results[i] = Outcome<Response>(describe_failure(escapes[i], requests[i].label));
     }
   }
   return results;

@@ -26,6 +26,10 @@
 #include "charlib/library.h"
 #include "tech/technology.h"
 
+namespace rlceff::tier {
+struct AnalyticalEstimate;
+}
+
 namespace rlceff::api {
 
 class Engine {
@@ -81,6 +85,21 @@ private:
   // The moments_only floor tier (core::estimate_driver_output_moments_only
   // on the request's — possibly Miller-decoupled — net).
   Response moments_only_response(const Request& request, const BatchOptions& options);
+  // The multi-fidelity cascade (Request::tier != TierPolicy::reference):
+  // routes the slot to Tier A/B/C per tier/router.h, escalating on admission
+  // failure (and, under balanced, on a Tier B convergence failure).  Called
+  // from model_or_throw after validation/lint/budget arming so every tier
+  // shares the same preamble.
+  Response tiered_response(const Request& request, const BatchOptions& options,
+                           util::ExecTracker* budget, std::size_t slot);
+  // Tier A: the closed-form analytical screen (tier/analytical.h) —
+  // table lookups only, no fixed point, no transient.  `estimate_out`
+  // (nullable) receives the raw estimate so the router can score admission
+  // without recomputing it.  Its model.waveform is moved into the returned
+  // Response (left empty in the estimate); every scalar admission input
+  // (criteria, ceff1/ceff2, kind, shielding) stays valid.
+  Response analytical_response(const Request& request, const BatchOptions& options,
+                               tier::AnalyticalEstimate* estimate_out = nullptr);
   // Distinct cell sizes from `sizes` not yet in the library.
   std::vector<double> collect_missing(std::span<const double> sizes) const;
 

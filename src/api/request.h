@@ -23,6 +23,7 @@
 #include "net/coupled.h"
 #include "net/net.h"
 #include "tech/testbench.h"
+#include "tier/tier.h"
 #include "util/budget.h"
 
 namespace rlceff::api {
@@ -36,6 +37,8 @@ enum class Fidelity {
   ceff_model,    // the paper's Ceff one/two-ramp model (table-driven)
   moments_only,  // degraded floor: cell table at Ctotal (first moment m1);
                  // see core::estimate_driver_output_moments_only's envelope
+  analytical,    // Tier A: closed-form shielded-Ceff table estimate
+                 // (tier/analytical.h); only produced by tiered requests
 };
 
 inline const char* to_string(Fidelity f) {
@@ -43,6 +46,7 @@ inline const char* to_string(Fidelity f) {
     case Fidelity::reference: return "reference";
     case Fidelity::ceff_model: return "ceff_model";
     case Fidelity::moments_only: return "moments_only";
+    case Fidelity::analytical: return "analytical";
   }
   return "ceff_model";
 }
@@ -165,6 +169,17 @@ struct Request {
   // Static-diagnostics admission screen / report (see LintOptions above).
   // Default-off: requests run exactly as they did before lint existed.
   LintOptions lint;
+
+  // Multi-fidelity cascade policy (src/tier/).  The default,
+  // TierPolicy::reference, bypasses the cascade: the request behaves exactly
+  // as it did before tiering existed (the `reference` flag decides between
+  // the transient harness and the model-only Ceff flow, bitwise-identical —
+  // enforced by the TierIdentity property family).  `balanced` and `fastest`
+  // route to the cheapest admissible tier (tier/router.h) and ignore the
+  // `reference` flag; the forced policies pin one tier for testing and
+  // calibration.  A non-default policy is incompatible with reference=true
+  // (use force_reference to ask for Tier C explicitly).
+  tier::TierPolicy tier = tier::TierPolicy::reference;
 };
 
 struct Response {
@@ -215,6 +230,19 @@ struct Response {
   Fidelity fidelity = Fidelity::ceff_model;
   bool degraded = false;
   std::vector<Attempt> attempts;
+
+  // Cascade provenance (Request::tier != TierPolicy::reference): the tier
+  // that served the slot and how many escalations the router took to get
+  // there (0 = first choice held).  Non-tiered requests report the legacy
+  // mapping (reference flag ? Tier::reference : Tier::ceff, 0 escalations).
+  tier::Tier tier = tier::Tier::ceff;
+  std::size_t tier_escalations = 0;
+
+  // Tier A coupled slots: the closed-form charge-sharing upper bound on the
+  // quiet-victim crosstalk peak (tier::noise_bound).  Unlike peak_noise this
+  // needs no transient; has_noise_bound marks it meaningful.
+  bool has_noise_bound = false;
+  double noise_bound = 0.0;
 };
 
 struct BatchOptions {

@@ -46,6 +46,8 @@ constexpr std::array<CodeInfo, code_count> kCodeTable = {{
     {Code::miller_unsafe, "miller_unsafe", "model", Severity::warn},
     {Code::convergence_risk, "convergence_risk", "model", Severity::info},
     {Code::invalid_input, "invalid_input", "input", Severity::error},
+    {Code::tier_advisory, "tier_advisory", "tier", Severity::info},
+    {Code::tier_pinned_mismatch, "tier_pinned_mismatch", "tier", Severity::warn},
 }};
 
 const CodeInfo& info(Code code) {

@@ -62,15 +62,19 @@ enum class Code {
   // input — rejected before the taxonomy could classify it (deck/geometry
   // construction failures outside the structured checks)
   invalid_input,
+  // tier — multi-fidelity cascade routing predictions (src/tier/)
+  tier_advisory,         // predicted routed tier under the requested policy
+  tier_pinned_mismatch,  // a forced tier the topology's screen would refuse
 };
 
-inline constexpr std::size_t code_count = static_cast<std::size_t>(Code::invalid_input) + 1;
+inline constexpr std::size_t code_count =
+    static_cast<std::size_t>(Code::tier_pinned_mismatch) + 1;
 
 // The spelled enum name ("nonpositive_resistance"); stable across releases.
 const char* to_string(Code code);
 const char* to_string(Severity severity);
 // Check family: "connectivity", "physicality", "conditioning", "model",
-// "input".
+// "input", "tier".
 const char* family(Code code);
 // The severity a code carries unless a check explicitly overrides it.
 Severity default_severity(Code code);

@@ -17,6 +17,7 @@
 #include "moments/admittance.h"
 #include "sim/transient.h"
 #include "tech/technology.h"
+#include "tier/router.h"
 
 namespace rlceff::lint {
 
@@ -231,6 +232,38 @@ void check_net_model(const net::Net& net, const Options& options,
   }
 }
 
+// ------------------------------------------------------------------ tier ---
+
+// Predicts the tier the multi-fidelity cascade would route this net to under
+// the caller's policy — the static (table-free) version of the router's
+// screen, with the input slew standing in for the driver output transition.
+// A forced tier the screen would refuse is a warning: the pin will be
+// honored, but the calibrated envelope for that tier no longer covers the
+// result.
+void check_net_tier(const net::Net& net, const Options& options,
+                    std::vector<Diagnostic>& out) {
+  using tier::TierPolicy;
+  if (options.tier_policy == TierPolicy::reference) return;
+  const tier::Admission admission = tier::admit_analytical_static(
+      net, options.driver_resistance, options.input_slew);
+  const tier::Tier predicted = tier::route(options.tier_policy, admission, false);
+  std::string message = std::string("policy ") + tier::to_string(options.tier_policy) +
+                        " routes this net to tier " + tier::tier_letter(predicted) +
+                        " (" + tier::to_string(predicted) + ")";
+  if (!admission.ok) {
+    message += std::string("; the tier A screen refuses it: ") + admission.reason;
+  }
+  out.push_back(make_diagnostic(Code::tier_advisory, "", std::move(message)));
+  if (!admission.ok && options.tier_policy == TierPolicy::force_analytical) {
+    out.push_back(make_diagnostic(
+        Code::tier_pinned_mismatch, "",
+        std::string("the request pins tier A (force_analytical) but the static "
+                    "screen disqualifies this topology: ") +
+            admission.reason,
+        "let TierPolicy::balanced escalate, or pin tier B (force_ceff)"));
+  }
+}
+
 bool has_error(const std::vector<Diagnostic>& diagnostics) {
   return std::any_of(diagnostics.begin(), diagnostics.end(), [](const Diagnostic& d) {
     return d.severity == Severity::error;
@@ -287,7 +320,10 @@ Report lint_net(const net::Net& net, const Options& options) {
     check_value_spread(sections, loads, options, report.diagnostics);
     check_net_conditioning(net, options, report.diagnostics);
   }
-  if (options.model) check_net_model(net, options, report.diagnostics);
+  if (options.model) {
+    check_net_model(net, options, report.diagnostics);
+    check_net_tier(net, options, report.diagnostics);
+  }
   return report;
 }
 

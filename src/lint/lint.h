@@ -28,6 +28,7 @@
 #include "lint/structural.h"
 #include "net/coupled.h"
 #include "net/net.h"
+#include "tier/tier.h"
 
 namespace rlceff::ckt {
 class Netlist;
@@ -74,6 +75,14 @@ struct Options {
   // iterates to (documented admission-time approximation).
   double driver_resistance = 0.0;  // Thevenin estimate [ohm]
   double input_slew = 0.0;         // Tr1 proxy [s]
+
+  // Tier routing prediction (model pass, needs the driver context above):
+  // emits tier_advisory with the tier the static screen
+  // (tier::admit_analytical_static) predicts the cascade would route this
+  // net to under `tier_policy`, and tier_pinned_mismatch when a forced
+  // policy pins a tier the screen would refuse.  The default policy
+  // (reference) skips the prediction — no cascade, nothing to predict.
+  tier::TierPolicy tier_policy = tier::TierPolicy::reference;
 };
 
 struct Report {

@@ -123,4 +123,46 @@ NetMetrics Net::metrics() const {
   return out;
 }
 
+namespace {
+
+// Fallback dominant-path pick for pure-RC nets: the root-to-leaf route with
+// the largest Elmore weight R_path * (C_path/2 + C_leaf).  Strict > with a
+// negative initial best keeps the first (depth-first) leaf on ties, matching
+// walk_metrics' deterministic leaf order.
+void walk_relaxed(const Branch& branch, PathState path, std::size_t& leaf_counter,
+                  double& best, NetMetrics& out) {
+  for (const Section& s : branch.sections) {
+    path.r += s.resistance;
+    path.c += s.capacitance;
+  }
+  if (branch.children.empty()) {
+    const std::size_t leaf = leaf_counter++;
+    const double weight = path.r * (0.5 * path.c + branch.c_load);
+    if (weight > best) {
+      best = weight;
+      out.path_resistance = path.r;
+      out.path_load = branch.c_load;
+      out.dominant_leaf = leaf;
+    }
+    return;
+  }
+  for (const Branch& child : branch.children) {
+    walk_relaxed(child, path, leaf_counter, best, out);
+  }
+}
+
+}  // namespace
+
+NetMetrics Net::metrics_relaxed() const {
+  NetMetrics out;
+  std::size_t leaf_counter = 0;
+  walk_metrics(root(), {}, leaf_counter, out);
+  ensure(out.total_capacitance() > 0.0, "net::Net::metrics: net has no capacitance");
+  if (out.time_of_flight > 0.0) return out;  // identical to metrics()
+  leaf_counter = 0;
+  double best = -1.0;
+  walk_relaxed(root(), {}, leaf_counter, best, out);
+  return out;
+}
+
 }  // namespace rlceff::net

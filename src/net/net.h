@@ -106,6 +106,14 @@ public:
   // root-to-leaf path carrying both inductance and capacitance.
   NetMetrics metrics() const;
 
+  // metrics() with the L-C-path requirement relaxed: a net with no
+  // inductance anywhere (pure RC — exactly the nets the Tier-A closed-form
+  // screen wants most) reports z0 == time_of_flight == 0 and takes the
+  // dominant path as the largest-Elmore-weight root-to-leaf route instead of
+  // the largest-flight-time one.  Still throws when the net has no
+  // capacitance at all.
+  NetMetrics metrics_relaxed() const;
+
 private:
   Branch root_;
 };

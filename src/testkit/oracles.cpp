@@ -12,6 +12,7 @@
 #include "moments/admittance.h"
 #include "sim/transient.h"
 #include "tech/testbench.h"
+#include "tier/envelope.h"
 #include "util/units.h"
 
 namespace rlceff::testkit {
@@ -717,6 +718,104 @@ void check_miller_envelope(const tech::Technology& technology,
              fmt(r.ref_far.delay) + " s (envelope " + fmt(envelope) + " s)");
   expect(r.peak_noise >= 0.0 && r.peak_noise <= technology.vdd,
          "quiet-victim peak noise " + fmt(r.peak_noise) + " V outside [0, Vdd]");
+}
+
+namespace {
+
+// Strips the flags a tiered request may not carry (the cascade owns the
+// reference decision) and any reference-only extras.
+api::Request model_only(const api::Request& request) {
+  api::Request out = request;
+  out.reference = false;
+  out.one_ramp_baseline = false;
+  out.keep_waveforms = false;
+  out.tier = tier::TierPolicy::reference;
+  return out;
+}
+
+}  // namespace
+
+void check_tier_identity(api::Engine& engine, const api::Request& request,
+                         const api::BatchOptions& options) {
+  const api::Request legacy = model_only(request);
+  api::Request forced = legacy;
+  forced.tier = tier::TierPolicy::force_ceff;
+
+  const api::Outcome<api::Response> base = engine.model(legacy, options);
+  const api::Outcome<api::Response> tiered = engine.model(forced, options);
+  if (base.ok() != tiered.ok()) {
+    expect(false, std::string("force_ceff changed the outcome of the legacy path: ") +
+                      (base.ok() ? "legacy ok, tiered failed: " + tiered.error().message
+                                 : "legacy failed, tiered ok"));
+  }
+  if (!base.ok()) {
+    expect(base.error().code == tiered.error().code,
+           "force_ceff changed the failure code of the legacy path");
+    return;
+  }
+  const api::Response& b = base.value();
+  const api::Response& t = tiered.value();
+  auto same = [&](double x, double y, const char* what) {
+    expect(x == y, std::string("force_ceff diverged from the legacy path on ") +
+                       what + ": " + fmt(x) + " vs " + fmt(y));
+  };
+  same(b.model_near.delay, t.model_near.delay, "near-end delay");
+  same(b.model_near.slew, t.model_near.slew, "near-end slew");
+  same(b.model.t50, t.model.t50, "model t50");
+  same(b.model.ceff1.ceff, t.model.ceff1.ceff, "Ceff1");
+  same(b.model.ceff1.ramp_time, t.model.ceff1.ramp_time, "Tr1");
+  same(b.delay_pushout_model, t.delay_pushout_model, "model pushout");
+  expect(b.model.kind == t.model.kind, "force_ceff changed the model kind");
+  // Provenance stamps: the default policy reports the legacy mapping, the
+  // forced policy reports Tier B with no escalations.
+  expect(b.fidelity == api::Fidelity::ceff_model && b.tier == tier::Tier::ceff &&
+             b.tier_escalations == 0,
+         "default-policy response carries a non-legacy tier stamp");
+  expect(t.fidelity == api::Fidelity::ceff_model && t.tier == tier::Tier::ceff &&
+             t.tier_escalations == 0,
+         "force_ceff response mis-stamped its tier provenance");
+}
+
+void check_tier_envelope(api::Engine& engine, const api::Request& request,
+                         const api::BatchOptions& options) {
+  api::Request routed = model_only(request);
+  routed.tier = tier::TierPolicy::balanced;
+
+  api::Request reference = model_only(request);
+  reference.reference = true;
+  reference.noise = request.coupled();
+
+  const api::Outcome<api::Response> routed_out = engine.model(routed, options);
+  if (!routed_out.ok()) return;  // outcome taxonomy is check_engine_outcome's
+  const api::Outcome<api::Response> ref_out = engine.model(reference, options);
+  if (!ref_out.ok()) return;
+
+  const api::Response& r = routed_out.value();
+  const api::Response& c = ref_out.value();
+  if (r.tier == tier::Tier::reference) return;  // served by the reference itself
+
+  const tier::Envelope env = tier::envelope(r.tier, request.coupled());
+  const double noise = r.has_noise_bound ? r.noise_bound : -1.0;
+  const double ref_noise =
+      (request.coupled() && c.has_reference) ? c.peak_noise : -1.0;
+  const tier::EnvelopeCheck check =
+      tier::check_envelope(env, r.model_near.delay, r.model_near.slew,
+                           c.ref_near.delay, c.ref_near.slew, noise, ref_noise);
+  const std::string tag =
+      std::string("tier ") + tier::to_string(r.tier) +
+      (request.coupled() ? " (coupled)" : "") + " vs reference: ";
+  expect(check.delay_ok, tag + "delay " + fmt(r.model_near.delay) +
+                             " s outside the envelope of " + fmt(c.ref_near.delay) +
+                             " s (rel " + fmt(env.delay_rel) + ", abs " +
+                             fmt(env.delay_abs) + " s)");
+  expect(check.slew_ok, tag + "slew " + fmt(r.model_near.slew) +
+                            " s outside the envelope of " + fmt(c.ref_near.slew) +
+                            " s (rel " + fmt(env.slew_rel) + ", abs " +
+                            fmt(env.slew_abs) + " s)");
+  expect(check.noise_ok, tag + "noise bound " + fmt(noise) +
+                             " V under-states the simulated quiet-victim peak " +
+                             fmt(ref_noise) + " V by more than " +
+                             fmt(env.noise_abs) + " V");
 }
 
 namespace {

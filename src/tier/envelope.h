@@ -1,0 +1,57 @@
+// Calibrated accuracy envelopes for the cheaper tiers.
+//
+// Each envelope states how far a tier's delay/slew may sit from the Tier C
+// transient reference before the result counts as a violation:
+//
+//   |tier - reference| <= rel * |reference| + abs        (delay and slew)
+//
+// and, for coupled slots, that the tier's crosstalk-noise figure must not
+// *under*-state the simulated quiet-victim peak by more than noise_abs
+// (Tier A's charge-sharing bound is a true upper bound; the margin absorbs
+// discretization of the reference deck).
+//
+// The numbers are calibrated offline against the testkit random fleet
+// (bench/randomized_fleet.cpp --calibrate prints observed worst cases) and
+// checked in here with margin; the TierEnvelope property family and the CI
+// fleet gate hold every release to them.  They are intentionally NOT tight:
+// they are the contract "results routed to this tier are at worst this
+// wrong", not the typical error (which the bench reports separately).
+#ifndef RLCEFF_TIER_ENVELOPE_H
+#define RLCEFF_TIER_ENVELOPE_H
+
+#include "tier/tier.h"
+
+namespace rlceff::tier {
+
+struct Envelope {
+  double delay_rel = 0.0;  // relative delay tolerance vs Tier C
+  double delay_abs = 0.0;  // absolute delay floor [s]
+  double slew_rel = 0.0;   // relative slew tolerance vs Tier C
+  double slew_abs = 0.0;   // absolute slew floor [s]
+  double noise_abs = 0.0;  // coupled only: max under-statement of the peak [V]
+};
+
+// The checked-in envelope for a tier.  Tier C is the reference itself — its
+// envelope is all zeros.  `coupled` selects the coupled-slot table (victim
+// delays shift with Miller factors, so the bounds are wider).
+Envelope envelope(Tier tier, bool coupled);
+
+// |value - reference| <= rel * |reference| + abs.
+bool within(double value, double reference, double rel, double abs);
+
+// Full check of a tier result against the reference figures; noise values
+// are ignored for uncoupled slots (pass negatives).
+struct EnvelopeCheck {
+  bool delay_ok = true;
+  bool slew_ok = true;
+  bool noise_ok = true;
+  bool ok() const { return delay_ok && slew_ok && noise_ok; }
+};
+
+EnvelopeCheck check_envelope(const Envelope& env, double delay, double slew,
+                             double ref_delay, double ref_slew,
+                             double noise = -1.0, double ref_noise = -1.0);
+
+}  // namespace rlceff::tier
+
+#endif  // RLCEFF_TIER_ENVELOPE_H

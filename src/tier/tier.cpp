@@ -1,0 +1,62 @@
+#include "tier/tier.h"
+
+#include <cstring>
+
+namespace rlceff::tier {
+
+const char* to_string(Tier tier) {
+  switch (tier) {
+    case Tier::analytical: return "analytical";
+    case Tier::ceff: return "ceff";
+    case Tier::reference: return "reference";
+  }
+  return "ceff";
+}
+
+char tier_letter(Tier tier) {
+  switch (tier) {
+    case Tier::analytical: return 'a';
+    case Tier::ceff: return 'b';
+    case Tier::reference: return 'c';
+  }
+  return 'b';
+}
+
+const char* to_string(TierPolicy policy) {
+  switch (policy) {
+    case TierPolicy::reference: return "reference";
+    case TierPolicy::balanced: return "balanced";
+    case TierPolicy::fastest: return "fastest";
+    case TierPolicy::force_analytical: return "force_analytical";
+    case TierPolicy::force_ceff: return "force_ceff";
+    case TierPolicy::force_reference: return "force_reference";
+  }
+  return "reference";
+}
+
+bool parse_tier_policy(const char* text, TierPolicy& out) {
+  struct Spelling {
+    const char* name;
+    TierPolicy policy;
+  };
+  static constexpr Spelling kSpellings[] = {
+      {"reference", TierPolicy::reference},
+      {"balanced", TierPolicy::balanced},
+      {"fastest", TierPolicy::fastest},
+      {"force_analytical", TierPolicy::force_analytical},
+      {"force_ceff", TierPolicy::force_ceff},
+      {"force_reference", TierPolicy::force_reference},
+      {"a", TierPolicy::force_analytical},
+      {"b", TierPolicy::force_ceff},
+      {"c", TierPolicy::force_reference},
+  };
+  for (const Spelling& s : kSpellings) {
+    if (std::strcmp(text, s.name) == 0) {
+      out = s.policy;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace rlceff::tier

@@ -25,11 +25,13 @@ Pwl::Pwl(std::vector<std::pair<double, double>> points) : points_(std::move(poin
     // Name the offending index and the two timestamps: duplicate breakpoints
     // (a plateau collapsing to zero width, a replayed deck rounding two
     // times together) are the common construction failure and "must be
-    // strictly increasing" alone does not say where.
-    ensure(points_[i].first > points_[i - 1].first,
-           "Pwl: time[" + std::to_string(i) + "] = " + fmt_time(points_[i].first) +
-               " does not increase over time[" + std::to_string(i - 1) + "] = " +
-               fmt_time(points_[i - 1].first));
+    // strictly increasing" alone does not say where.  Build the message only
+    // on failure — this constructor is on the per-net hot path.
+    if (!(points_[i].first > points_[i - 1].first)) {
+      ensure(false, "Pwl: time[" + std::to_string(i) + "] = " +
+                        fmt_time(points_[i].first) + " does not increase over time[" +
+                        std::to_string(i - 1) + "] = " + fmt_time(points_[i - 1].first));
+    }
   }
 }
 

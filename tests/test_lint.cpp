@@ -28,7 +28,8 @@ using namespace rlceff::units;
 TEST(LintTaxonomy, EveryCodeHasStableNameFamilyAndSeverity) {
   EXPECT_EQ(code_count, all_codes().size());
   const std::set<std::string> families = {"connectivity", "physicality",
-                                          "conditioning", "model", "input"};
+                                          "conditioning", "model", "input",
+                                          "tier"};
   std::set<std::string> names;
   for (Code code : all_codes()) {
     const std::string name = to_string(code);

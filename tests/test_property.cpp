@@ -499,6 +499,45 @@ TEST(PropertySuite, NanStampGuard) {
   });
 }
 
+// TierPolicy::force_ceff must be bitwise-identical to the legacy model-only
+// path on every random request (single nets and coupled groups alike): the
+// tier subsystem is routing, not a new estimator, for Tier B.
+TEST(PropertySuite, TierIdentity) {
+  shared_engine();
+  run_family("tier_identity", 400, 1, [](std::uint64_t seed) -> std::string {
+    Rng rng(seed);
+    const api::Request request = random_request(rng);
+    try {
+      check_tier_identity(shared_engine(), request, property_batch_options());
+      return {};
+    } catch (const Error& e) {
+      return report("tier_identity", seed, "request '" + request.label + "'",
+                    e.what(), &request);
+    }
+  });
+}
+
+// Whatever tier a balanced request routes to must sit inside that tier's
+// checked-in accuracy envelope of the transient reference (low fidelity:
+// the envelope is deliberately coarse enough to hold at any fidelity).
+TEST(PropertySuite, TierEnvelope) {
+  shared_engine();
+  run_family("tier_envelope", 60, 1, [](std::uint64_t seed) -> std::string {
+    Rng rng(seed);
+    api::Request request = random_request(rng);
+    try {
+      api::BatchOptions options = property_batch_options();
+      options.deck.segments = 12;
+      options.deck.dt = 1 * ps;
+      check_tier_envelope(shared_engine(), request, options);
+      return {};
+    } catch (const Error& e) {
+      return report("tier_envelope", seed, "request '" + request.label + "'",
+                    e.what(), &request);
+    }
+  });
+}
+
 TEST(PropertySuite, MillerEnvelope) {
   shared_engine();
   run_family("miller_envelope", 10, 1, [](std::uint64_t seed) {

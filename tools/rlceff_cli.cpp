@@ -77,6 +77,17 @@
 //                        severity, family, path, message, hint).  Exit 0
 //                        when no slot has an error-severity finding, 2
 //                        otherwise (warn/info never fail the run)
+//     --tier <policy>    multi-fidelity cascade policy (tier/tier.h):
+//                        balanced (cheapest tier whose calibrated envelope
+//                        admits each net, escalating A->B->C), fastest (A
+//                        when admitted, B otherwise, never C), or a forced
+//                        tier a|b|c (force_analytical / force_ceff /
+//                        force_reference).  Default: no routing — requests
+//                        behave exactly as before the cascade existed.
+//                        Incompatible with --reference (use --tier c).
+//                        --json reports the serving tier and escalation
+//                        count per net plus a per-tier count summary; text
+//                        mode prints the summary as a trailing comment
 //     --lint-screen      normal run, but with the Engine admission screen
 //                        armed at warn severity and the deep passes enabled:
 //                        slots with warn-or-worse findings fail with error
@@ -103,6 +114,7 @@
 #include "lint/lint.h"
 #include "sim/transient.h"
 #include "tech/wire.h"
+#include "tier/tier.h"
 #include "util/units.h"
 
 using namespace rlceff;
@@ -121,6 +133,7 @@ struct CliOptions {
   long long max_steps = 0;       // <= 0: unlimited
   unsigned n_threads = 0;
   sim::SolverKind solver = sim::SolverKind::automatic;
+  tier::TierPolicy tier = tier::TierPolicy::reference;  // no routing
   bool lint = false;         // lint-only mode: diagnose, never simulate
   bool lint_screen = false;  // normal run with the admission screen armed
 };
@@ -131,7 +144,7 @@ void usage(const char* argv0) {
                "[--reference] [--threads <n>] [--json] "
                "[--solver auto|dense|banded|sparse] [--deadline-ms <t>] "
                "[--max-steps <n>] [--degrade] [--lint] [--lint-screen] "
-               "<deck-file>\n",
+               "[--tier balanced|fastest|a|b|c] <deck-file>\n",
                argv0);
 }
 
@@ -187,6 +200,14 @@ bool parse_args(int argc, char** argv, CliOptions& opt) {
       }
     } else if (arg == "--degrade") {
       opt.degrade = true;
+    } else if (arg == "--tier") {
+      const char* v = next();
+      if (v == nullptr || !tier::parse_tier_policy(v, opt.tier)) {
+        std::fprintf(stderr,
+                     "--tier needs one of: reference, balanced, fastest, "
+                     "force_analytical|a, force_ceff|b, force_reference|c\n");
+        return false;
+      }
     } else if (arg == "--lint") {
       opt.lint = true;
     } else if (arg == "--lint-screen") {
@@ -200,6 +221,12 @@ bool parse_args(int argc, char** argv, CliOptions& opt) {
       std::fprintf(stderr, "more than one deck file given\n");
       return false;
     }
+  }
+  if (opt.reference && opt.tier != tier::TierPolicy::reference) {
+    std::fprintf(stderr,
+                 "--reference is incompatible with --tier; use --tier c to pin "
+                 "the transient reference\n");
+    return false;
   }
   return !opt.deck_path.empty();
 }
@@ -614,6 +641,13 @@ void print_json(const CliOptions& cli, const std::vector<DeckNet>& slots,
                 kind_name(r.model.kind), api::to_string(r.fidelity),
                 r.degraded ? "true" : "false", r.model_near.delay / ps,
                 r.model_near.slew / ps);
+    if (cli.tier != tier::TierPolicy::reference) {
+      std::printf(", \"tier\": \"%s\", \"tier_escalations\": %zu",
+                  tier::to_string(r.tier), r.tier_escalations);
+      if (r.has_noise_bound) {
+        std::printf(", \"noise_bound_mv\": %.4f", r.noise_bound / 1e-3);
+      }
+    }
     if (r.has_coupling) {
       std::printf(", \"coupled\": true, \"delay_pushout_model_ps\": %.4f",
                   r.delay_pushout_model / ps);
@@ -631,7 +665,24 @@ void print_json(const CliOptions& cli, const std::vector<DeckNet>& slots,
     }
     std::printf("}");
   }
-  std::printf("\n  ],\n  \"failed\": %zu\n}\n", failed);
+  std::printf("\n  ],\n  \"failed\": %zu", failed);
+  if (cli.tier != tier::TierPolicy::reference) {
+    std::size_t served[3] = {0, 0, 0};
+    std::size_t escalations = 0;
+    for (const api::Outcome<api::Response>& outcome : results) {
+      if (!outcome.ok()) continue;
+      ++served[static_cast<std::size_t>(outcome.value().tier)];
+      escalations += outcome.value().tier_escalations;
+    }
+    std::printf(",\n  \"tier_policy\": \"%s\",\n  \"tiers\": "
+                "{\"a\": %zu, \"b\": %zu, \"c\": %zu, \"escalations\": %zu}",
+                tier::to_string(cli.tier),
+                served[static_cast<std::size_t>(tier::Tier::analytical)],
+                served[static_cast<std::size_t>(tier::Tier::ceff)],
+                served[static_cast<std::size_t>(tier::Tier::reference)],
+                escalations);
+  }
+  std::printf("\n}\n");
 }
 
 }  // namespace
@@ -761,6 +812,7 @@ int main(int argc, char** argv) {
     r.cell_size = net.driver_size;
     r.input_slew = net.slew_ps * ps;
     r.reference = cli.reference;
+    r.tier = cli.tier;
     r.far_end = false;
     r.solver = cli.solver;
     r.budget.wall_limit_s = cli.deadline_ms * 1e-3;
@@ -930,6 +982,21 @@ int main(int argc, char** argv) {
         }
         std::printf("\n");
       }
+    }
+    if (cli.tier != tier::TierPolicy::reference) {
+      std::size_t served[3] = {0, 0, 0};
+      std::size_t escalations = 0;
+      for (const api::Outcome<api::Response>& outcome : results) {
+        if (!outcome.ok()) continue;
+        ++served[static_cast<std::size_t>(outcome.value().tier)];
+        escalations += outcome.value().tier_escalations;
+      }
+      std::printf("# tiers served (%s): a=%zu b=%zu c=%zu, %zu escalation(s)\n",
+                  tier::to_string(cli.tier),
+                  served[static_cast<std::size_t>(tier::Tier::analytical)],
+                  served[static_cast<std::size_t>(tier::Tier::ceff)],
+                  served[static_cast<std::size_t>(tier::Tier::reference)],
+                  escalations);
     }
     std::printf("# %zu net(s), %zu failed\n", results.size(), failed);
   }
