@@ -1,5 +1,6 @@
 #include "bench_common.h"
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 
@@ -86,6 +87,21 @@ std::string pct(double fraction_error_percent) {
   return buf;
 }
 
+bool list_metrics_requested(int argc, char** argv) {
+  for (int k = 1; k < argc; ++k) {
+    if (std::string(argv[k]) == "--list-metrics") return true;
+  }
+  return false;
+}
+
+void list_metrics(const std::string& section,
+                  const std::vector<std::string>& names) {
+  const std::string prefix = section.empty() ? "" : section + ".";
+  for (const std::string& name : names) {
+    std::printf("%s%s\n", prefix.c_str(), name.c_str());
+  }
+}
+
 namespace {
 
 // Metric names are identifier-like and units are plain ASCII, so escaping
@@ -104,6 +120,18 @@ std::string json_escape(const std::string& s) {
 
 void write_bench_json(const std::string& path, const std::string& bench_name,
                       const std::vector<BenchMetric>& metrics) {
+  // A NaN/inf value would serialize as a token parse_metric_line cannot
+  // round-trip, so the metric would evaporate on the next merge.  A bench
+  // that computed garbage must fail its CI step, not ship a hole in the
+  // trajectory file.
+  for (const BenchMetric& m : metrics) {
+    if (!std::isfinite(m.value)) {
+      std::fprintf(stderr,
+                   "write_bench_json: metric '%s' in %s is not finite (%g)\n",
+                   m.name.c_str(), path.c_str(), m.value);
+      std::exit(1);
+    }
+  }
   std::ofstream out(path);
   ensure(out.good(), "write_bench_json: cannot open output file");
   out << "{\n  \"bench\": \"" << json_escape(bench_name) << "\",\n  \"metrics\": [";
@@ -165,11 +193,13 @@ void update_bench_json(const std::string& path, const std::string& bench_name,
       if (parse_metric_line(line, m)) {
         if (m.name.rfind(prefix, 0) != 0) merged.push_back(std::move(m));
       } else if (line.find("\"name\"") != std::string::npos) {
-        // A metric-looking line we cannot round-trip would be silently lost
-        // by the rewrite below; make the drop visible.
-        std::fprintf(stderr, "update_bench_json: dropping unparseable metric "
-                             "line in %s: %s\n",
+        // A metric-looking line we cannot round-trip would be lost by the
+        // rewrite below.  Benches feed a perf trajectory that CI gates on;
+        // a dropped metric is corrupted history, not a warning.
+        std::fprintf(stderr, "update_bench_json: unparseable metric line in "
+                             "%s would be dropped by the merge: %s\n",
                      path.c_str(), line.c_str());
+        std::exit(1);
       }
     }
   }

@@ -44,6 +44,15 @@ std::vector<api::Response> unwrap(std::vector<api::Outcome<api::Response>> outco
 // "+4.4%"-style formatting.
 std::string pct(double fraction_error_percent);
 
+// --list-metrics support for the BENCH_perf.json key-set smoke: every perf
+// bench declares the metric names it emits so CI can detect drift between
+// the benches and the checked-in trajectory file without running the
+// workloads.  list_metrics_requested() scans argv; list_metrics() prints one
+// fully-prefixed name per line (empty section = unprefixed overwrite names).
+bool list_metrics_requested(int argc, char** argv);
+void list_metrics(const std::string& section,
+                  const std::vector<std::string>& names);
+
 // One machine-readable performance number (e.g. ns/step of the transient
 // engine).  Benches emit these as BENCH_*.json files so the perf trajectory
 // can be tracked across commits.
@@ -54,7 +63,9 @@ struct BenchMetric {
 };
 
 // Writes {"bench": <name>, "metrics": [{"name", "value", "unit"}...]} to
-// `path`; throws Error when the file cannot be written.
+// `path`; throws Error when the file cannot be written.  Exits nonzero on a
+// non-finite metric value — a NaN would not survive the next merge, and a
+// perf gate must never read a file with silently missing numbers.
 void write_bench_json(const std::string& path, const std::string& bench_name,
                       const std::vector<BenchMetric>& metrics);
 
@@ -62,7 +73,8 @@ void write_bench_json(const std::string& path, const std::string& bench_name,
 // "<section>.<name>"; re-running a bench replaces its own section and leaves
 // every other metric — prefixed by another section or written unprefixed by
 // an overwriting bench — untouched, so a trajectory file shared by several
-// binaries survives partial reruns.
+// binaries survives partial reruns.  Exits nonzero when an existing metric
+// line cannot be round-tripped (the merge would otherwise drop it).
 void update_bench_json(const std::string& path, const std::string& bench_name,
                        const std::string& section,
                        const std::vector<BenchMetric>& metrics);

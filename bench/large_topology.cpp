@@ -168,6 +168,18 @@ std::size_t unknowns_of(const Deck& deck) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (bench::list_metrics_requested(argc, argv)) {
+    // Keep in sync with the update_bench_json call below (the key-set smoke
+    // diffs this list against the checked-in BENCH_perf.json).
+    bench::list_metrics(
+        "large_topology",
+        {"tree_sinks", "tree_unknowns", "tree_steps", "tree_sparse_ns_per_step",
+         "tree_sparse_steps_per_s", "bus_nets", "bus_unknowns", "bus_steps",
+         "bus_dense_ns_per_step", "bus_banded_ns_per_step",
+         "bus_sparse_ns_per_step", "bus_sparse_vs_dense_speedup",
+         "selected_dense", "selected_banded", "selected_sparse"});
+    return 0;
+  }
   bool smoke = false;
   for (int k = 1; k < argc; ++k) {
     if (std::strcmp(argv[k], "--smoke") == 0) smoke = true;

@@ -70,7 +70,16 @@ double time_lint_pass(const std::vector<api::Request>& requests,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (bench::list_metrics_requested(argc, argv)) {
+    // Keep in sync with the update_bench_json call below (the key-set smoke
+    // diffs this list against the checked-in BENCH_perf.json).
+    bench::list_metrics("lint",
+                        {"grid_nets", "screen_ns_per_net", "screen_total_us",
+                         "deep_ns_per_net", "model_batch_s",
+                         "screen_overhead_fraction"});
+    return 0;
+  }
   const std::vector<api::Request> requests = fig7_grid();
   const double n = static_cast<double>(requests.size());
 

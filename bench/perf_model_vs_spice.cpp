@@ -249,6 +249,17 @@ BENCHMARK(bm_far_end_replay_sim)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (bench::list_metrics_requested(argc, argv)) {
+    // Keep in sync with emit_perf_json (the key-set smoke diffs this list
+    // against the checked-in BENCH_perf.json).
+    bench::list_metrics(
+        "", {"linear_line_unknowns", "linear_line_steps",
+             "linear_line_cached_ns_per_step", "linear_line_cached_steps_per_s",
+             "linear_line_naive_ns_per_step", "linear_line_naive_steps_per_s",
+             "linear_line_factor_once_speedup", "engine_batch_nets",
+             "engine_batch_nets_per_s"});
+    return 0;
+  }
   emit_perf_json();
   // --perf-json-only: stop after the engine numbers (used by CI, which does
   // not want to characterize a library).

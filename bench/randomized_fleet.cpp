@@ -86,6 +86,20 @@ struct ErrorEnvelope {
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (bench::list_metrics_requested(argc, argv)) {
+    // Keep in sync with fleet_metrics/tier_metrics below (the key-set smoke
+    // diffs this list against the checked-in BENCH_perf.json).
+    bench::list_metrics("fleet",
+                        {"nets", "coupled_nets", "ok_fraction", "nets_per_s",
+                         "slot_p50_us", "slot_p95_us", "slot_p99_us",
+                         "degraded_fraction"});
+    bench::list_metrics("tier",
+                        {"a_hit_rate", "b_hit_rate", "c_hit_rate",
+                         "escalations_per_net", "a_nets_per_s", "b_nets_per_s",
+                         "c_nets_per_s", "envelope_checked",
+                         "envelope_violations"});
+    return 0;
+  }
   std::size_t n_nets = 256;
   std::uint64_t seed = 0x20030603ull;
   std::size_t envelope_sample = 48;

@@ -4,17 +4,61 @@
 #include <chrono>
 #include <cmath>
 #include <fstream>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <utility>
 
 #include "core/coupled_experiment.h"
 #include "core/experiment.h"
+#include "sim/scenario_block.h"
 #include "sim/sweep.h"
 #include "tier/analytical.h"
 #include "tier/router.h"
 #include "waveform/waveform.h"
 
 namespace rlceff::api {
+
+// One deferred far-end replay: everything needed to compile and run the
+// replay transient after its slot's model already answered.  The job owns a
+// copy of the net (the request span is the caller's; tiered inner requests
+// are stack temporaries) and shares ownership of the slot's ExecTracker so a
+// budget armed at slot start keeps charging the deferred work.
+struct ReplayJob {
+  std::size_t slot = 0;
+  std::string label;
+  net::Net net;
+  wave::Pwl source;             // modeled PWL in absolute deck time
+  tech::DeckOptions deck;       // t_stop sized; sim.solver set; budget unset
+  std::size_t dominant_leaf = 0;
+  double input_time_50 = 0.0;
+  bool keep_waveforms = false;
+  std::shared_ptr<util::ExecTracker> tracker;
+};
+
+struct ReplayCollector {
+  std::mutex mutex;
+  std::vector<ReplayJob> jobs;
+
+  void add(ReplayJob job) {
+    const std::lock_guard<std::mutex> lock(mutex);
+    jobs.push_back(std::move(job));
+  }
+  // Hands the slot's tracker to its job once the slot's primary attempt
+  // committed to the deferred answer.
+  void attach_tracker(std::size_t slot, std::shared_ptr<util::ExecTracker> tracker) {
+    const std::lock_guard<std::mutex> lock(mutex);
+    for (ReplayJob& job : jobs) {
+      if (job.slot == slot) job.tracker = std::move(tracker);
+    }
+  }
+  // Drops a slot's job when the slot failed after enqueueing (e.g. a later
+  // convergence check): a failed slot must not be patched.
+  void discard(std::size_t slot) {
+    const std::lock_guard<std::mutex> lock(mutex);
+    std::erase_if(jobs, [slot](const ReplayJob& job) { return job.slot == slot; });
+  }
+};
 
 namespace {
 
@@ -47,8 +91,21 @@ void validate(const Request& r) {
     if (!r.aggressors.empty()) reject("aggressors without a coupled group");
     if (r.net.empty()) reject("net is empty");
   }
-  if (!r.reference && (r.one_ramp_baseline || r.keep_waveforms)) {
-    reject("one_ramp_baseline/keep_waveforms need the reference simulation");
+  if (!r.reference && r.one_ramp_baseline) {
+    reject("one_ramp_baseline needs the reference simulation");
+  }
+  if (!r.reference && !r.far_end_replay && r.keep_waveforms) {
+    reject("keep_waveforms needs the reference simulation or far_end_replay");
+  }
+  if (r.far_end_replay) {
+    if (r.coupled()) reject("far_end_replay is a single-net replay");
+    if (r.reference) {
+      reject("far_end_replay is redundant with the reference simulation "
+             "(which already replays the far end)");
+    }
+    if (r.tier != tier::TierPolicy::reference) {
+      reject("far_end_replay is incompatible with a tier policy");
+    }
   }
   if (r.coupled() && r.one_ramp_baseline) {
     reject("the one-ramp baseline is a single-net comparison column");
@@ -121,13 +178,62 @@ core::EdgeMetrics measure_model(const core::DriverOutputModel& m, double vdd) {
   return {e.t50, e.transition_10_90()};
 }
 
+// The replay deck a model-only far_end_replay slot runs: the modeled PWL
+// shifted into absolute deck time (the model's t = 0 is the input 50 %
+// crossing, analytically t_start + slew/2 for a saturated ramp input), a
+// horizon auto-sized exactly like the reference harness, and the
+// dominant-path leaf to measure.
+struct ReplayPlan {
+  wave::Pwl source;
+  tech::DeckOptions deck;
+  std::size_t dominant_leaf = 0;
+  double input_time_50 = 0.0;
+};
+
+ReplayPlan plan_far_end_replay(const Request& request, const BatchOptions& options,
+                               const core::DriverOutputModel& model) {
+  const net::NetMetrics metrics = request.net.metrics();
+  ReplayPlan plan;
+  plan.input_time_50 = options.deck.t_start + 0.5 * request.input_slew;
+  plan.deck = options.deck;
+  plan.deck.t_stop = options.deck.t_start + request.input_slew +
+                     std::max(1e-9, core::settle_time(request.cell_size, metrics));
+  plan.deck.sim.budget = nullptr;
+  plan.deck.sim.solver = request.solver;
+  plan.dominant_leaf = metrics.dominant_leaf;
+  std::vector<std::pair<double, double>> pts = model.waveform.points();
+  for (auto& [t, v] : pts) t += plan.input_time_50;
+  plan.source = wave::Pwl(std::move(pts));
+  return plan;
+}
+
+// The per-slot replay path (no collector, degrade enabled, or wall-clock
+// limited): identical construction and measurement to the batched path, so
+// BatchOptions::batch_scenarios on/off is a bitwise no-op on the numbers.
+void run_replay_inline(const tech::Technology& technology, const Request& request,
+                       const ReplayPlan& plan, util::ExecTracker* budget,
+                       Response& response) {
+  tech::DeckOptions deck = plan.deck;
+  deck.sim.budget = budget;
+  const tech::NetSimResult replay =
+      tech::simulate_source_net(plan.source, request.net, deck);
+  const wave::Waveform& far = replay.leaves.at(plan.dominant_leaf);
+  response.model_far =
+      core::measure_edge(far, technology.vdd, plan.input_time_50);
+  response.has_model_far = true;
+  response.input_time_50 = plan.input_time_50;
+  response.has_solver = true;
+  response.solver = replay.solver;
+  if (request.keep_waveforms) response.model_far_wave = far;
+}
+
 }  // namespace
 
 Engine::Engine(tech::Technology technology) : technology_(technology) {}
 
 Response Engine::model_or_throw(const Request& request, const BatchOptions& options,
                                 util::ExecTracker* budget, std::size_t slot,
-                                bool run_hook) {
+                                bool run_hook, ReplayCollector* collector) {
   validate(request);
 
   // Admission screen: reject statically-broken work before any
@@ -206,6 +312,7 @@ Response Engine::model_or_throw(const Request& request, const BatchOptions& opti
       response.ref_near = r.ref_near;
       response.ref_far = r.ref_far;
       response.model_far = r.model_far;
+      response.has_model_far = request.far_end;
       response.base_near = r.base_near;
       response.base_far = r.base_far;
       response.delay_pushout = r.delay_pushout;
@@ -271,6 +378,7 @@ Response Engine::model_or_throw(const Request& request, const BatchOptions& opti
     response.ref_near = r.ref_near;
     response.ref_far = r.ref_far;
     response.model_far = r.model_far;
+    response.has_model_far = request.far_end;
     response.one_near = r.one_near;
     response.one_ramp = std::move(r.one_ramp);
     response.ref_near_wave = std::move(r.ref_near_wave);
@@ -285,6 +393,32 @@ Response Engine::model_or_throw(const Request& request, const BatchOptions& opti
     response.model = core::model_driver_output(driver, request.input_slew,
                                                request.net, model_opt);
     response.model_near = measure_model(response.model, technology_.vdd);
+    if (request.far_end_replay) {
+      // Fail a non-converged model *before* planning or enqueueing its
+      // replay, so a slot that fails here leaves nothing behind to patch.
+      check_convergence(request, response.model);
+      ReplayPlan plan = plan_far_end_replay(request, options, response.model);
+      // Slots with a wall-clock limit or an enabled degrade policy never
+      // defer: the deadline/ladder semantics are tied to the slot's own
+      // attempt sequence, and deferral would move work past both.
+      const bool defer = collector != nullptr && !request.degrade.enabled &&
+                         request.budget.wall_limit_s <= 0.0;
+      if (defer) {
+        ReplayJob job;
+        job.slot = slot;
+        job.label = request.label;
+        job.net = request.net;
+        job.source = std::move(plan.source);
+        job.deck = plan.deck;
+        job.dominant_leaf = plan.dominant_leaf;
+        job.input_time_50 = plan.input_time_50;
+        job.keep_waveforms = request.keep_waveforms;
+        collector->add(std::move(job));
+        response.input_time_50 = plan.input_time_50;
+      } else {
+        run_replay_inline(technology_, request, plan, budget, response);
+      }
+    }
   }
 
   check_convergence(request, response.model);
@@ -444,7 +578,7 @@ Response Engine::tiered_response(const Request& request, const BatchOptions& opt
 }
 
 Outcome<Response> Engine::run_slot(const Request& request, const BatchOptions& options,
-                                   std::size_t slot) {
+                                   std::size_t slot, ReplayCollector* collector) {
   const auto t0 = std::chrono::steady_clock::now();
   const auto elapsed = [&] {
     return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
@@ -474,13 +608,19 @@ Outcome<Response> Engine::run_slot(const Request& request, const BatchOptions& o
     return Outcome<Response>(std::move(info));
   };
 
-  util::ExecTracker tracker(request.budget);
+  // Heap-owned tracker: a deferred replay charges this slot's budget after
+  // run_slot returns, so the collector shares ownership with the job.
+  const auto owned_tracker = std::make_shared<util::ExecTracker>(request.budget);
+  util::ExecTracker& tracker = *owned_tracker;
   std::exception_ptr first_error;
   try {
-    return finish(model_or_throw(request, options, &tracker, slot, true),
-                  primary, false);
+    Response r = model_or_throw(request, options, &tracker, slot, true, collector);
+    if (collector) collector->attach_tracker(slot, owned_tracker);
+    return finish(std::move(r), primary, false);
   } catch (...) {
     first_error = std::current_exception();
+    // A slot that enqueued a replay and then failed must not be patched.
+    if (collector) collector->discard(slot);
   }
   const ErrorInfo first = describe_failure(first_error, request.label);
 
@@ -585,6 +725,8 @@ std::vector<Outcome<Response>> Engine::run_batch(std::span<const Request> reques
   // belt-and-braces against anything escaping the policy itself.
   std::vector<Outcome<Response>> results(requests.size(),
                                          Outcome<Response>(ErrorInfo{}));
+  ReplayCollector collector;
+  ReplayCollector* collect = options.batch_scenarios ? &collector : nullptr;
   const std::vector<std::exception_ptr> escapes = sim::run_indexed_sweep_collect(
       requests.size(),
       [&](std::size_t i) {
@@ -593,7 +735,7 @@ std::vector<Outcome<Response>> Engine::run_batch(std::span<const Request> reques
           results[i] = Outcome<Response>(describe_failure(e, r.label));
           return;
         }
-        results[i] = run_slot(r, options, i);
+        results[i] = run_slot(r, options, i, collect);
       },
       options.n_threads);
   for (std::size_t i = 0; i < requests.size(); ++i) {
@@ -601,7 +743,140 @@ std::vector<Outcome<Response>> Engine::run_batch(std::span<const Request> reques
       results[i] = Outcome<Response>(describe_failure(escapes[i], requests[i].label));
     }
   }
+  // Deferred far_end_replay transients: group equal-topology decks and run
+  // each group as one shared-factorization multi-RHS block, then patch the
+  // affected slots.  (No-op when nothing deferred.)
+  if (collect) finalize_deferred(collector, options, results);
   return results;
+}
+
+void Engine::finalize_deferred(ReplayCollector& collector, const BatchOptions& options,
+                               std::vector<Outcome<Response>>& results) {
+  std::vector<ReplayJob>& jobs = collector.jobs;  // workers are done: no lock
+  // Belt-and-braces: never patch a slot that is no longer a success (e.g. a
+  // sweep escape overwrote it after the job was enqueued).
+  std::erase_if(jobs, [&](const ReplayJob& j) { return !results[j.slot].ok(); });
+  if (jobs.empty()) return;
+
+  // Compile every deck up front (in parallel — netlist building is cheap but
+  // hundreds of thousand-node ladders add up).  A compile failure fails just
+  // its own slot.
+  std::vector<tech::SourceNetDeck> decks(jobs.size());
+  std::vector<sim::TransientOptions> sim_opts(jobs.size());
+  const std::vector<std::exception_ptr> compile_errors =
+      sim::run_indexed_sweep_collect(
+          jobs.size(),
+          [&](std::size_t i) {
+            decks[i] = tech::compile_source_net(jobs[i].source, jobs[i].net,
+                                                jobs[i].deck);
+            sim_opts[i] = tech::sim_options(jobs[i].deck);
+            sim_opts[i].budget = nullptr;  // per-lane trackers instead
+          },
+          options.n_threads);
+
+  // Group by structural hash, confirmed by the exhaustive bit-compare —
+  // near-identical decks (one ULP, one extra edge) never share a matrix.
+  std::vector<std::vector<std::size_t>> groups;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (compile_errors[i]) {
+      results[jobs[i].slot] =
+          Outcome<Response>(describe_failure(compile_errors[i], jobs[i].label));
+      continue;
+    }
+    const std::uint64_t hash =
+        sim::scenario_group_hash(decks[i].netlist, sim_opts[i]);
+    bool placed = false;
+    for (std::vector<std::size_t>& group : groups) {
+      const std::size_t head = group.front();
+      if (sim::scenario_group_hash(decks[head].netlist, sim_opts[head]) != hash) {
+        continue;
+      }
+      if (!sim::scenario_group_equal(decks[head].netlist, decks[i].netlist)) continue;
+      if (!sim::scenario_options_equal(sim_opts[head], sim_opts[i])) continue;
+      if (decks[head].probes != decks[i].probes) continue;
+      group.push_back(i);
+      placed = true;
+      break;
+    }
+    if (!placed) groups.push_back({i});
+  }
+
+  // Equal-topology groups run as blocks; groups run in parallel across the
+  // sweep pool (they touch disjoint slots).  A failure of the *shared*
+  // machinery falls back to per-lane scalar replays, so a group-level fault
+  // can never fail a scenario that would have succeeded alone.
+  const auto run_group = [&](std::size_t g) {
+    const std::vector<std::size_t>& members = groups[g];
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::size_t head = members.front();
+    const sim::TransientOptions& so = sim_opts[head];
+
+    std::vector<sim::BlockOutcome> outcomes;
+    if (members.size() > 1) {
+      std::vector<sim::BlockScenario> lanes;
+      lanes.reserve(members.size());
+      for (std::size_t i : members) {
+        lanes.push_back(
+            {&decks[i].netlist, jobs[i].deck.t_stop, jobs[i].tracker.get()});
+      }
+      try {
+        outcomes = sim::simulate_block(lanes, so, decks[head].probes);
+      } catch (...) {
+        outcomes.clear();
+      }
+    }
+    if (outcomes.empty()) {
+      // Singleton group, or the shared path refused/failed: scalar per lane.
+      for (std::size_t i : members) {
+        sim::BlockOutcome o;
+        try {
+          sim::TransientOptions lane_opt = so;
+          lane_opt.t_stop = jobs[i].deck.t_stop;
+          lane_opt.budget = jobs[i].tracker.get();
+          o.result = sim::simulate(decks[i].netlist, lane_opt, decks[i].probes);
+        } catch (...) {
+          o.error = std::current_exception();
+        }
+        outcomes.push_back(std::move(o));
+      }
+    }
+
+    const sim::SolverKind solver = sim::selected_solver(decks[head].netlist, so);
+    const double elapsed_share =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count() /
+        static_cast<double>(members.size());
+    for (std::size_t k = 0; k < members.size(); ++k) {
+      const std::size_t i = members[k];
+      const ReplayJob& job = jobs[i];
+      if (!outcomes[k].result.has_value()) {
+        ErrorInfo info = describe_failure(outcomes[k].error, job.label);
+        info.elapsed_s = results[job.slot].value().elapsed_s + elapsed_share;
+        results[job.slot] = Outcome<Response>(std::move(info));
+        continue;
+      }
+      // Exactly what run_replay_inline measures, from the blocked result.
+      Response& response = results[job.slot].value();
+      const wave::Waveform& far =
+          outcomes[k].result->at(decks[i].nodes.leaves.at(job.dominant_leaf));
+      response.model_far =
+          core::measure_edge(far, technology_.vdd, job.input_time_50);
+      response.has_model_far = true;
+      response.has_solver = true;
+      response.solver = solver;
+      if (job.keep_waveforms) response.model_far_wave = far;
+      response.elapsed_s += elapsed_share;
+    }
+  };
+  const std::vector<std::exception_ptr> group_escapes =
+      sim::run_indexed_sweep_collect(groups.size(), run_group, options.n_threads);
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    if (!group_escapes[g]) continue;
+    for (std::size_t i : groups[g]) {
+      results[jobs[i].slot] =
+          Outcome<Response>(describe_failure(group_escapes[g], jobs[i].label));
+    }
+  }
 }
 
 std::vector<double> Engine::collect_missing(std::span<const double> sizes) const {

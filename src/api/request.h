@@ -142,7 +142,18 @@ struct Request {
   bool reference = false;          // also run the transient reference sim
   bool far_end = true;             // replay the model at the far end (reference mode)
   bool one_ramp_baseline = false;  // also evaluate the one-ramp column (reference mode)
-  bool keep_waveforms = false;     // retain sampled waveforms (reference mode)
+  bool keep_waveforms = false;     // retain sampled waveforms (reference/replay mode)
+
+  // Model-only far-end replay: after the Ceff model converges, replay the
+  // modeled PWL through the net and measure the dominant-path leaf
+  // (Response::model_far / has_model_far) — the Fig-6 sink response without
+  // the reference driver simulation.  This is the scenario-batching target:
+  // in run_batch (BatchOptions::batch_scenarios) equal-topology replays are
+  // grouped and advanced as one shared-factorization block, with waveforms
+  // bitwise-identical to the per-slot path.  Incompatible with `reference`
+  // (which already replays the far end), coupled groups, and non-default
+  // tier policies.  keep_waveforms is honored (model_far_wave).
+  bool far_end_replay = false;
 
   // Treat a non-converged Ceff fixed point in the primary model as a
   // per-slot convergence_failure instead of silently returning the last
@@ -195,6 +206,10 @@ struct Response {
   core::EdgeMetrics model_far;   // modeled PWL replayed through the net
   core::EdgeMetrics one_near;    // one-ramp baseline at the driver output
   core::DriverOutputModel one_ramp;
+
+  // model_far is meaningful: set on reference slots that replayed the far
+  // end (reference && far_end) and on model-only far_end_replay slots.
+  bool has_model_far = false;
 
   // Coupled-request fields; only meaningful when has_coupling is set.
   bool has_coupling = false;
@@ -252,6 +267,15 @@ struct BatchOptions {
   charlib::CharacterizationGrid grid = charlib::CharacterizationGrid::standard();
   // Sweep pool width for run_batch (0 = one worker per hardware thread).
   unsigned n_threads = 0;
+  // Shared-factorization scenario batching (sim/scenario_block.h): run_batch
+  // defers far_end_replay transients, groups slots whose compiled decks are
+  // scenario_group_equal (same topology and element values at full bit
+  // precision — a one-ULP difference never aliases), and advances each group
+  // as one blocked multi-RHS solve.  Waveforms and measurements are
+  // bitwise-identical to the per-slot path (`off`), just faster; per-slot
+  // isolation is preserved (a faulted lane never perturbs its group-mates).
+  // Slots with a wall-clock limit or an enabled degrade policy never defer.
+  bool batch_scenarios = true;
   // Test-only fault hook (testkit/faults.h chaos harness): when set, invoked
   // at the start of every slot's *primary* attempt — after validation,
   // inside the armed budget — with the slot's batch index and its

@@ -78,11 +78,19 @@ ExperimentResult run_experiment(const tech::Technology& technology,
     if (pts.front().first > 0.0 && pts.front().second == 0.0) {
       // anchored waveforms always begin at 0 V; nothing to do
     }
-    const wave::Pwl absolute(std::move(pts));
-    tech::NetSimResult replay = tech::simulate_source_net(absolute, scenario.net, deck);
-    const wave::Waveform& replay_far = replay.leaves.at(metrics.dominant_leaf);
-    out.model_far = measure_edge(replay_far, technology.vdd, ref.input_time_50);
-    if (options.keep_waveforms) out.model_far_wave = replay_far;
+    wave::Pwl absolute(std::move(pts));
+    if (options.defer_far_end) {
+      out.replay_deferred = true;
+      out.replay_source = std::move(absolute);
+      out.replay_t_stop = deck.t_stop;
+      out.replay_dominant_leaf = metrics.dominant_leaf;
+    } else {
+      tech::NetSimResult replay =
+          tech::simulate_source_net(absolute, scenario.net, deck);
+      const wave::Waveform& replay_far = replay.leaves.at(metrics.dominant_leaf);
+      out.model_far = measure_edge(replay_far, technology.vdd, ref.input_time_50);
+      if (options.keep_waveforms) out.model_far_wave = replay_far;
+    }
   }
 
   if (options.include_one_ramp) {

@@ -1,0 +1,164 @@
+// Internal solver backends shared by the scalar transient engine
+// (sim/transient.cpp) and the blocked scenario engine (sim/scenario_block.cpp).
+//
+// This is the factor-once contract in one place: a LinearSolver assembles a
+// "working" matrix, snapshots/restores it at memcpy cost, factors it in
+// place, and then runs allocation-free substitution sweeps — either one RHS
+// at a time (solve_into) or a whole n x k scenario block (solve_block, each
+// lane bitwise-identical to a single-RHS solve).  Keeping both engines on
+// the same backend classes and the same static-stamp sequence is what makes
+// "batched waveforms bitwise-identical to the per-slot path" a structural
+// property instead of a numerical accident.
+//
+// Not installed API: everything here lives in sim::detail and may change
+// freely; callers outside src/sim use sim/transient.h and
+// sim/scenario_block.h.
+#ifndef RLCEFF_SIM_SOLVER_BACKEND_H
+#define RLCEFF_SIM_SOLVER_BACKEND_H
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <span>
+
+#include "circuit/mna.h"
+#include "circuit/netlist.h"
+#include "sim/transient.h"
+#include "util/linalg.h"
+#include "util/sparse.h"
+
+namespace rlceff::sim::detail {
+
+// Uniform interface over the banded, dense, and sparse factorizations.
+//
+// The engine assembles into a "working" matrix.  save_static()/load_static()
+// snapshot and restore the working values (a memcpy, never an allocation),
+// so the linear-device stamps survive across Newton iterations and time
+// steps.  factor() destroys the working values in place; solve_into() then
+// runs the substitution sweeps on a caller-owned buffer with zero heap
+// traffic.  solve_block() does the same for `lanes` right-hand sides stored
+// as an n x stride row-major block, with every lane's operation sequence
+// identical to solve_into on that lane alone.
+class LinearSolver {
+public:
+  virtual ~LinearSolver() = default;
+  virtual void clear() = 0;
+  virtual void add(std::size_t r, std::size_t c, double v) = 0;
+  virtual void save_static() = 0;
+  virtual void load_static() = 0;
+  virtual void factor() = 0;
+  // x holds the rhs on entry and the solution on exit.
+  virtual void solve_into(std::span<double> x) = 0;
+  // Blocked multi-RHS variant; lane s of unknown i lives at x[i * stride + s].
+  virtual void solve_block(std::span<double> x, std::size_t lanes,
+                           std::size_t stride) = 0;
+};
+
+class BandedSolver final : public LinearSolver {
+public:
+  BandedSolver(std::size_t n, std::size_t bw) : n_(n), bw_(bw), a_(n, bw, bw) {}
+  void clear() override { a_.set_zero(); }
+  void add(std::size_t r, std::size_t c, double v) override { a_.add(r, c, v); }
+  void save_static() override {
+    // Lazy: only the nonlinear cached path pays for the second matrix.
+    if (!static_image_) static_image_.emplace(n_, bw_, bw_);
+    static_image_->copy_values_from(a_);
+  }
+  void load_static() override { a_.copy_values_from(*static_image_); }
+  void factor() override { a_.factor(); }
+  void solve_into(std::span<double> x) override { a_.solve_into(x); }
+  void solve_block(std::span<double> x, std::size_t lanes,
+                   std::size_t stride) override {
+    a_.solve_block(x, lanes, stride);
+  }
+
+private:
+  std::size_t n_;
+  std::size_t bw_;
+  util::BandedMatrix a_;
+  std::optional<util::BandedMatrix> static_image_;
+};
+
+class DenseSolver final : public LinearSolver {
+public:
+  explicit DenseSolver(std::size_t n) : a_(n, n) {}
+  void clear() override { a_.set_zero(); }
+  void add(std::size_t r, std::size_t c, double v) override { a_(r, c) += v; }
+  void save_static() override { static_image_ = a_; }
+  void load_static() override { a_ = static_image_; }
+  void factor() override { util::lu_factor_into(a_, f_); }
+  void solve_into(std::span<double> x) override { util::lu_solve_into(f_, x); }
+  void solve_block(std::span<double> x, std::size_t lanes,
+                   std::size_t stride) override {
+    util::lu_solve_block(f_, x, lanes, stride);
+  }
+
+private:
+  util::DenseMatrix a_;
+  util::DenseMatrix static_image_;
+  util::LuFactors f_;
+};
+
+// The compressed-sparse backend: the MNA image is a CSC matrix over the
+// fixed pattern MnaStructure derives from the device list, and the
+// factorization is the fill-reducing sparse LU from util/sparse.h.  The
+// static image is a second values array restored by memcpy, so the cached
+// assembly contract (identical stamp sequence into identical storage) holds
+// bitwise just like the dense/banded backends.  The budget tracker is
+// threaded into factor/solve so one large factorization honors deadlines and
+// cancellation from the inside (null in the blocked engine, whose budgets
+// are per scenario lane).
+class SparseSolver final : public LinearSolver {
+public:
+  SparseSolver(const ckt::MnaStructure& structure, util::ExecTracker* budget)
+      : a_(structure.unknown_count(), structure.sparse_pattern()), budget_(budget) {
+    lu_.analyze(a_);
+  }
+  void clear() override { a_.set_zero(); }
+  void add(std::size_t r, std::size_t c, double v) override { a_.add(r, c, v); }
+  void save_static() override {
+    if (!static_image_) {
+      static_image_.emplace(a_);
+    } else {
+      static_image_->copy_values_from(a_);
+    }
+  }
+  void load_static() override { a_.copy_values_from(*static_image_); }
+  void factor() override { lu_.factor(a_, budget_); }
+  void solve_into(std::span<double> x) override { lu_.solve_into(x, budget_); }
+  void solve_block(std::span<double> x, std::size_t lanes,
+                   std::size_t stride) override {
+    lu_.solve_block(x, lanes, stride);
+  }
+
+private:
+  util::SparseMatrix a_;
+  std::optional<util::SparseMatrix> static_image_;
+  util::SparseLu lu_;
+  util::ExecTracker* budget_;
+};
+
+// The selection heuristic behind SolverKind::automatic (see
+// sim::selected_solver for the contract).
+SolverKind resolve_solver_kind(std::size_t n, std::size_t bw, std::size_t nnz,
+                               const TransientOptions& options);
+
+std::unique_ptr<LinearSolver> make_solver(const ckt::MnaStructure& structure,
+                                          const TransientOptions& options);
+
+// Stamps every matrix entry that depends only on (h, gmin): gmin loading,
+// resistors, companion conductances, and the branch incidence rows of
+// inductors and voltage sources.  h <= 0 selects DC (capacitors open,
+// inductors shorted).  `cached_path` gates the property-harness fault hooks
+// (TransientOptions::debug_cached_stamp_*), which poison only the cached
+// assembly path.  The stamp sequence is the bitwise contract shared by the
+// scalar and blocked engines — change it in lockstep with assemble_rhs in
+// both.
+void assemble_static_stamps(LinearSolver& solver, const ckt::Netlist& nl,
+                            const ckt::MnaStructure& structure, double h,
+                            double gmin, const TransientOptions& opt,
+                            bool cached_path);
+
+}  // namespace rlceff::sim::detail
+
+#endif  // RLCEFF_SIM_SOLVER_BACKEND_H

@@ -7,6 +7,7 @@
 #include <optional>
 
 #include "circuit/mna.h"
+#include "sim/solver_backend.h"
 #include "util/error.h"
 #include "util/linalg.h"
 #include "util/sparse.h"
@@ -19,140 +20,8 @@ using ckt::ground;
 using ckt::MnaStructure;
 using ckt::Netlist;
 using ckt::NodeId;
-
-// Uniform interface over the banded and dense factorizations.
-//
-// The engine assembles into a "working" matrix.  save_static()/load_static()
-// snapshot and restore the working values (a memcpy, never an allocation),
-// so the linear-device stamps survive across Newton iterations and time
-// steps.  factor() destroys the working values in place; solve_into() then
-// runs the substitution sweeps on a caller-owned buffer with zero heap
-// traffic.
-class LinearSolver {
-public:
-  virtual ~LinearSolver() = default;
-  virtual void clear() = 0;
-  virtual void add(std::size_t r, std::size_t c, double v) = 0;
-  virtual void save_static() = 0;
-  virtual void load_static() = 0;
-  virtual void factor() = 0;
-  // x holds the rhs on entry and the solution on exit.
-  virtual void solve_into(std::span<double> x) = 0;
-};
-
-class BandedSolver final : public LinearSolver {
-public:
-  BandedSolver(std::size_t n, std::size_t bw) : n_(n), bw_(bw), a_(n, bw, bw) {}
-  void clear() override { a_.set_zero(); }
-  void add(std::size_t r, std::size_t c, double v) override { a_.add(r, c, v); }
-  void save_static() override {
-    // Lazy: only the nonlinear cached path pays for the second matrix.
-    if (!static_image_) static_image_.emplace(n_, bw_, bw_);
-    static_image_->copy_values_from(a_);
-  }
-  void load_static() override { a_.copy_values_from(*static_image_); }
-  void factor() override { a_.factor(); }
-  void solve_into(std::span<double> x) override { a_.solve_into(x); }
-
-private:
-  std::size_t n_;
-  std::size_t bw_;
-  util::BandedMatrix a_;
-  std::optional<util::BandedMatrix> static_image_;
-};
-
-class DenseSolver final : public LinearSolver {
-public:
-  explicit DenseSolver(std::size_t n) : a_(n, n) {}
-  void clear() override { a_.set_zero(); }
-  void add(std::size_t r, std::size_t c, double v) override { a_(r, c) += v; }
-  void save_static() override { static_image_ = a_; }
-  void load_static() override { a_ = static_image_; }
-  void factor() override { util::lu_factor_into(a_, f_); }
-  void solve_into(std::span<double> x) override { util::lu_solve_into(f_, x); }
-
-private:
-  util::DenseMatrix a_;
-  util::DenseMatrix static_image_;
-  util::LuFactors f_;
-};
-
-// The compressed-sparse backend: the MNA image is a CSC matrix over the
-// fixed pattern MnaStructure derives from the device list, and the
-// factorization is the fill-reducing sparse LU from util/sparse.h.  The
-// static image is a second values array restored by memcpy, so the cached
-// assembly contract (identical stamp sequence into identical storage) holds
-// bitwise just like the dense/banded backends.  The budget tracker is
-// threaded into factor/solve so one large factorization honors deadlines and
-// cancellation from the inside.
-class SparseSolver final : public LinearSolver {
-public:
-  SparseSolver(const MnaStructure& structure, util::ExecTracker* budget)
-      : a_(structure.unknown_count(), structure.sparse_pattern()), budget_(budget) {
-    lu_.analyze(a_);
-  }
-  void clear() override { a_.set_zero(); }
-  void add(std::size_t r, std::size_t c, double v) override { a_.add(r, c, v); }
-  void save_static() override {
-    if (!static_image_) {
-      static_image_.emplace(a_);
-    } else {
-      static_image_->copy_values_from(a_);
-    }
-  }
-  void load_static() override { a_.copy_values_from(*static_image_); }
-  void factor() override { lu_.factor(a_, budget_); }
-  void solve_into(std::span<double> x) override { lu_.solve_into(x, budget_); }
-
-private:
-  util::SparseMatrix a_;
-  std::optional<util::SparseMatrix> static_image_;
-  util::SparseLu lu_;
-  util::ExecTracker* budget_;
-};
-
-// Banded-vs-others predicate: RCM kept the band narrow enough that the
-// banded LU's O(n * bw^2) factor / O(n * bw) solve wins outright.  The
-// absolute cap keeps big decks whose *relative* band happens to be narrow
-// (a bushy clock tree can RCM to bw ~ n / 15) off the band path, where the
-// O(n * bw) storage alone would run to gigabytes; those fall through to the
-// sparse/dense choice below.
-bool bandwidth_is_narrow(std::size_t n, std::size_t bw) {
-  return bw <= std::min<std::size_t>(512, std::max<std::size_t>(8, n / 4));
-}
-
-// Sparse-vs-dense predicate for wide-bandwidth systems: per step the
-// factor-once paths cost one substitution sweep — O(L+U nonzeros) sparse
-// (a small multiple of the pattern for fill-reduced circuit matrices)
-// versus O(n^2) dense — so sparse wins once the system is large enough
-// that the estimated fill-bloated pattern is well under the dense triangle.
-// Small systems stay dense: flat arrays beat index chasing there.
-bool sparse_is_cheaper(std::size_t n, std::size_t nnz) {
-  return n >= 128 && 8 * nnz < n * n / 2;
-}
-
-SolverKind resolve_solver_kind(std::size_t n, std::size_t bw, std::size_t nnz,
-                               const TransientOptions& options) {
-  if (options.solver != SolverKind::automatic) return options.solver;
-  if (options.force_dense) return SolverKind::dense;  // deprecated spelling
-  if (bandwidth_is_narrow(n, bw)) return SolverKind::banded;
-  if (sparse_is_cheaper(n, nnz)) return SolverKind::sparse;
-  return SolverKind::dense;
-}
-
-std::unique_ptr<LinearSolver> make_solver(const MnaStructure& structure,
-                                          const TransientOptions& options) {
-  const std::size_t n = structure.unknown_count();
-  switch (resolve_solver_kind(n, structure.bandwidth(), structure.pattern_nonzeros(),
-                              options)) {
-    case SolverKind::banded:
-      return std::make_unique<BandedSolver>(n, structure.bandwidth());
-    case SolverKind::sparse:
-      return std::make_unique<SparseSolver>(structure, options.budget);
-    default:
-      return std::make_unique<DenseSolver>(n);
-  }
-}
+using detail::LinearSolver;
+using detail::make_solver;
 
 // Dynamic state carried between time steps.
 struct CapacitorState {
@@ -251,7 +120,8 @@ public:
         solver_->load_static();
       } else {
         solver_->clear();
-        assemble_static_stamps(h, gmin);
+        detail::assemble_static_stamps(*solver_, nl_, structure_, h, gmin, opt_,
+                                       cached_);
       }
       assemble_rhs(t, h, state);
       stamp_mosfets();
@@ -301,7 +171,8 @@ private:
   void ensure_factored(double h, double gmin) {
     if (factored_valid_ && h == static_h_ && gmin == static_gmin_) return;
     solver_->clear();
-    assemble_static_stamps(h, gmin);
+    detail::assemble_static_stamps(*solver_, nl_, structure_, h, gmin, opt_,
+                                   cached_);
     solver_->factor();
     factored_valid_ = true;
     static_valid_ = false;
@@ -312,99 +183,13 @@ private:
   void ensure_static(double h, double gmin) {
     if (static_valid_ && h == static_h_ && gmin == static_gmin_) return;
     solver_->clear();
-    assemble_static_stamps(h, gmin);
+    detail::assemble_static_stamps(*solver_, nl_, structure_, h, gmin, opt_,
+                                   cached_);
     solver_->save_static();
     static_valid_ = true;
     factored_valid_ = false;
     static_h_ = h;
     static_gmin_ = gmin;
-  }
-
-  void stamp_conductance(NodeId a, NodeId b, double g) {
-    if (a != ground) {
-      const std::size_t ia = structure_.node_index(a);
-      solver_->add(ia, ia, g);
-      if (b != ground) solver_->add(ia, structure_.node_index(b), -g);
-    }
-    if (b != ground) {
-      const std::size_t ib = structure_.node_index(b);
-      solver_->add(ib, ib, g);
-      if (a != ground) solver_->add(ib, structure_.node_index(a), -g);
-    }
-  }
-
-  // Matrix entries that depend only on (h, gmin): gmin loading, resistors,
-  // companion conductances, and the branch incidence rows of inductors and
-  // voltage sources.
-  void assemble_static_stamps(double h, double gmin) {
-    const bool dc = h <= 0.0;
-    const bool trap = opt_.integrator == Integrator::trapezoidal;
-
-    for (NodeId n = 1; n < nl_.node_count(); ++n) {
-      solver_->add(structure_.node_index(n), structure_.node_index(n), gmin);
-    }
-
-    for (const ckt::Resistor& r : nl_.resistors()) {
-      stamp_conductance(r.a, r.b, 1.0 / r.resistance);
-    }
-
-    if (!dc) {
-      // Property-harness fault injection: skew the cached-path capacitor
-      // stamps so the cached-vs-naive oracle must fire (see
-      // TransientOptions).  skew == 0 leaves the stamps bit-identical.
-      const double skew = cached_ ? 1.0 + opt_.debug_cached_stamp_skew : 1.0;
-      bool first_cap = true;
-      for (const ckt::Capacitor& c : nl_.capacitors()) {
-        double g = skew * (trap ? 2.0 : 1.0) * c.capacitance / h;
-        if (first_cap && cached_ && opt_.debug_cached_stamp_nan) {
-          g = std::numeric_limits<double>::quiet_NaN();
-        }
-        first_cap = false;
-        stamp_conductance(c.a, c.b, g);
-      }
-    }
-
-    for (std::size_t k = 0; k < nl_.inductors().size(); ++k) {
-      const ckt::Inductor& l = nl_.inductors()[k];
-      const std::size_t j = structure_.inductor_index(k);
-      const double req = dc ? 0.0 : (trap ? 2.0 : 1.0) * l.inductance / h;
-      // Branch equation: (va - vb) - req * i = e_n.
-      if (l.a != ground) {
-        solver_->add(j, structure_.node_index(l.a), 1.0);
-        solver_->add(structure_.node_index(l.a), j, 1.0);
-      }
-      if (l.b != ground) {
-        solver_->add(j, structure_.node_index(l.b), -1.0);
-        solver_->add(structure_.node_index(l.b), j, -1.0);
-      }
-      solver_->add(j, j, -req);
-    }
-
-    // Mutual inductance couples the two branch equations: the companion term
-    // M * di_other/dt adds -req_m * i_other to each row, symmetrically.  In
-    // DC both inductors are shorts and the mutual contributes nothing.
-    if (!dc) {
-      for (const ckt::MutualInductor& m : nl_.mutual_inductors()) {
-        const double req = (trap ? 2.0 : 1.0) * m.mutual / h;
-        const std::size_t ja = structure_.inductor_index(m.la);
-        const std::size_t jb = structure_.inductor_index(m.lb);
-        solver_->add(ja, jb, -req);
-        solver_->add(jb, ja, -req);
-      }
-    }
-
-    for (std::size_t k = 0; k < nl_.vsources().size(); ++k) {
-      const ckt::VSource& v = nl_.vsources()[k];
-      const std::size_t j = structure_.vsource_index(k);
-      if (v.pos != ground) {
-        solver_->add(j, structure_.node_index(v.pos), 1.0);
-        solver_->add(structure_.node_index(v.pos), j, 1.0);
-      }
-      if (v.neg != ground) {
-        solver_->add(j, structure_.node_index(v.neg), -1.0);
-        solver_->add(structure_.node_index(v.neg), j, -1.0);
-      }
-    }
   }
 
   // Right-hand side: companion currents and source values.  Changes every
@@ -558,8 +343,8 @@ SolverKind solver_kind_from_string(std::string_view name) {
 SolverKind selected_solver(const ckt::Netlist& netlist,
                            const TransientOptions& options) {
   const MnaStructure structure(netlist);
-  return resolve_solver_kind(structure.unknown_count(), structure.bandwidth(),
-                             structure.pattern_nonzeros(), options);
+  return detail::resolve_solver_kind(structure.unknown_count(), structure.bandwidth(),
+                                     structure.pattern_nonzeros(), options);
 }
 
 bool uses_banded_solver(const ckt::Netlist& netlist) {
@@ -581,6 +366,13 @@ const wave::Waveform& TransientResult::at(ckt::NodeId node) const {
 void TransientResult::record(double time, std::span<const double> node_voltages) {
   for (std::size_t k = 0; k < probes_.size(); ++k) {
     waves_[k].append(time, node_voltages[probes_[k]]);
+  }
+}
+
+void TransientResult::record_probe_values(double time,
+                                          std::span<const double> per_probe) {
+  for (std::size_t k = 0; k < probes_.size(); ++k) {
+    waves_[k].append(time, per_probe[k]);
   }
 }
 

@@ -104,6 +104,12 @@ public:
 
   void record(double time, std::span<const double> node_voltages);
 
+  // Like record(), but `per_probe` is already in probe order (one value per
+  // probes() entry) instead of indexed by NodeId.  Used by the blocked
+  // scenario engine, whose solution storage is lane-major rather than a full
+  // node-voltage vector.
+  void record_probe_values(double time, std::span<const double> per_probe);
+
 private:
   std::vector<ckt::NodeId> probes_;
   std::vector<wave::Waveform> waves_;

@@ -10,13 +10,6 @@ namespace rlceff::tech {
 
 namespace {
 
-sim::TransientOptions make_sim_options(const DeckOptions& options) {
-  sim::TransientOptions s = options.sim;
-  s.t_stop = options.t_stop;
-  s.dt = options.dt;
-  return s;
-}
-
 // Probes for one compiled net: the driving point, every leaf, and every
 // named probe (deduplicated — a named leaf is probed once).
 void add_net_probes(std::vector<ckt::NodeId>& probes, ckt::NodeId out,
@@ -51,14 +44,44 @@ NetSimResult run_net_deck(ckt::Netlist& nl, ckt::NodeId out,
                           const DeckOptions& options) {
   std::vector<ckt::NodeId> probes;
   add_net_probes(probes, out, nodes);
-  const sim::TransientOptions sim_options = make_sim_options(options);
-  const sim::TransientResult res = sim::simulate(nl, sim_options, probes);
+  const sim::TransientOptions so = sim_options(options);
+  const sim::TransientResult res = sim::simulate(nl, so, probes);
   NetSimResult result = collect_net_result(res, out, nodes, input_time_50);
-  result.solver = sim::selected_solver(nl, sim_options);
+  result.solver = sim::selected_solver(nl, so);
   return result;
 }
 
 }  // namespace
+
+sim::TransientOptions sim_options(const DeckOptions& options) {
+  sim::TransientOptions s = options.sim;
+  s.t_stop = options.t_stop;
+  s.dt = options.dt;
+  return s;
+}
+
+SourceNetDeck compile_source_net(const wave::Pwl& source, const net::Net& net,
+                                 const DeckOptions& options) {
+  SourceNetDeck deck;
+  deck.out = deck.netlist.node("out");
+  deck.netlist.add_vsource(deck.out, ckt::ground, source);
+  deck.nodes = ckt::append_net(deck.netlist, deck.out, net, options.segments);
+  add_net_probes(deck.probes, deck.out, deck.nodes);
+  return deck;
+}
+
+NetSimResult collect_source_result(const SourceNetDeck& deck,
+                                   const sim::TransientResult& res,
+                                   const wave::Pwl& source) {
+  NetSimResult result = collect_net_result(res, deck.out, deck.nodes, 0.0);
+  // For an ideal source the "input" and near end coincide; report the source
+  // 50 % crossing so sink delays have a reference.
+  const double v_final = source.final_value();
+  result.input_time_50 =
+      result.near_end.first_crossing(0.5 * v_final, v_final > 0.0)
+          .value_or(source.start_time());
+  return result;
+}
 
 const wave::Waveform& NetSimResult::probe(std::string_view name) const {
   for (const auto& [probe_name, waveform] : probes) {
@@ -85,7 +108,7 @@ wave::Waveform simulate_driver_cap_load(const Technology& tech, const Inverter& 
 
   if (input_time_50 != nullptr) *input_time_50 = options.t_start + 0.5 * input_slew;
   const std::array<ckt::NodeId, 1> probes{out};
-  return sim::simulate(nl, make_sim_options(options), probes).at(out);
+  return sim::simulate(nl, sim_options(options), probes).at(out);
 }
 
 NetSimResult simulate_driver_net(const Technology& tech, const Inverter& cell,
@@ -102,17 +125,11 @@ NetSimResult simulate_driver_net(const Technology& tech, const Inverter& cell,
 
 NetSimResult simulate_source_net(const wave::Pwl& source, const net::Net& net,
                                  const DeckOptions& options) {
-  ckt::Netlist nl;
-  const ckt::NodeId out = nl.node("out");
-  nl.add_vsource(out, ckt::ground, source);
-  const ckt::NetDeckNodes nodes = ckt::append_net(nl, out, net, options.segments);
-  NetSimResult result = run_net_deck(nl, out, nodes, 0.0, options);
-  // For an ideal source the "input" and near end coincide; report the source
-  // 50 % crossing so sink delays have a reference.
-  const double v_final = source.final_value();
-  result.input_time_50 =
-      result.near_end.first_crossing(0.5 * v_final, v_final > 0.0)
-          .value_or(source.start_time());
+  SourceNetDeck deck = compile_source_net(source, net, options);
+  const sim::TransientOptions so = sim_options(options);
+  const sim::TransientResult res = sim::simulate(deck.netlist, so, deck.probes);
+  NetSimResult result = collect_source_result(deck, res, source);
+  result.solver = sim::selected_solver(deck.netlist, so);
   return result;
 }
 
@@ -161,9 +178,9 @@ CoupledSimResult simulate_coupled_group(const Technology& tech,
   for (std::size_t k = 0; k < group.size(); ++k) {
     add_net_probes(probes, outs[k], decks.nets[k]);
   }
-  const sim::TransientOptions sim_options = make_sim_options(options);
-  const sim::TransientResult res = sim::simulate(nl, sim_options, probes);
-  const sim::SolverKind solver = sim::selected_solver(nl, sim_options);
+  const sim::TransientOptions so = sim_options(options);
+  const sim::TransientResult res = sim::simulate(nl, so, probes);
+  const sim::SolverKind solver = sim::selected_solver(nl, so);
 
   CoupledSimResult result;
   result.nets.reserve(group.size());

@@ -26,6 +26,8 @@
 #include <utility>
 #include <vector>
 
+#include "circuit/builders.h"
+#include "circuit/netlist.h"
 #include "moments/admittance.h"
 #include "net/coupled.h"
 #include "net/net.h"
@@ -81,6 +83,36 @@ NetSimResult simulate_driver_net(const Technology& tech, const Inverter& cell,
 // source's own 50 % crossing so sink delays have a reference.
 NetSimResult simulate_source_net(const wave::Pwl& source, const net::Net& net,
                                  const DeckOptions& options);
+
+// ---- compiled source-net decks -------------------------------------------
+// Deck 3 split into compile / simulate / collect so the scenario-batching
+// engine can group compiled decks by topology and run them as one
+// shared-factorization block while reusing exactly the code path
+// simulate_source_net runs per slot (same netlist build order, same probe
+// list, same measurement extraction — the bitwise-parity prerequisite).
+
+struct SourceNetDeck {
+  ckt::Netlist netlist;
+  ckt::NodeId out = ckt::ground;   // driving point (source positive node)
+  ckt::NetDeckNodes nodes;         // leaves + named probes of the net
+  std::vector<ckt::NodeId> probes;  // deduplicated probe list for sim::simulate
+};
+
+// The TransientOptions simulate_source_net would hand sim::simulate for this
+// deck (options.sim with t_stop/dt overridden by the deck fields).
+sim::TransientOptions sim_options(const DeckOptions& options);
+
+// Builds the deck netlist exactly as simulate_source_net does (source first,
+// then the discretized net) without running it.
+SourceNetDeck compile_source_net(const wave::Pwl& source, const net::Net& net,
+                                 const DeckOptions& options);
+
+// Extracts the NetSimResult (waveforms + the source's 50 % crossing) from a
+// finished simulation of a compiled deck.  Does not fill NetSimResult::solver
+// — the caller knows which backend actually ran.
+NetSimResult collect_source_result(const SourceNetDeck& deck,
+                                   const sim::TransientResult& res,
+                                   const wave::Pwl& source);
 
 // ---- coupled decks -------------------------------------------------------
 

@@ -1,13 +1,17 @@
 #include "testkit/oracles.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <cstdio>
+#include <limits>
+#include <stdexcept>
 #include <string>
 #include <utility>
 
 #include "circuit/builders.h"
 #include "core/coupled_experiment.h"
+#include "sim/scenario_block.h"
 #include "testkit/faults.h"
 #include "moments/admittance.h"
 #include "sim/transient.h"
@@ -592,6 +596,288 @@ void check_chaos_batch(api::Engine& engine, std::uint64_t seed,
       check_contract(fault, faulted[k], narrow[k], baseline[k], where + " (serial)");
       check_contract(fault, faulted[k], wide[k], baseline[k], where + " (wide)");
       same_slot(narrow[k], wide[k], where + " serial vs wide");
+    }
+  }
+}
+
+namespace {
+
+std::uint64_t dbits(double v) { return std::bit_cast<std::uint64_t>(v); }
+
+void expect_wave_bitwise(const wave::Waveform& a, const wave::Waveform& b,
+                         const std::string& what) {
+  expect(a.size() == b.size(), what + ": sample counts differ (" +
+                                   std::to_string(a.size()) + " vs " +
+                                   std::to_string(b.size()) + ")");
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    expect(dbits(a.time(k)) == dbits(b.time(k)) &&
+               dbits(a.value(k)) == dbits(b.value(k)),
+           what + ": waveform sample " + std::to_string(k) + " differs bitwise");
+  }
+}
+
+// A far_end_replay slot over `net` — the scenario-batching unit of work.
+// require_convergence stays off so hard random instances fail (identically
+// on both paths) at the replay measurement, not at the model gate.
+api::Request replay_request(std::string label, const net::Net& net,
+                            double cell_size, double input_slew,
+                            sim::SolverKind solver) {
+  api::Request r;
+  r.label = std::move(label);
+  r.cell_size = cell_size;
+  r.input_slew = input_slew;
+  r.net = net;
+  r.far_end_replay = true;
+  r.keep_waveforms = true;
+  r.require_convergence = false;
+  r.solver = solver;
+  return r;
+}
+
+// Full bitwise slot identity, far end and waveform included (stricter than
+// check_batch_invariance's near-end compare, which predates the replay path).
+void expect_identical_replay_slot(const api::Outcome<api::Response>& a,
+                                  const api::Outcome<api::Response>& b,
+                                  const std::string& what) {
+  expect(a.ok() == b.ok(), what + ": ok flags differ");
+  if (!a.ok()) {
+    expect(a.error().code == b.error().code,
+           what + ": error codes differ (" +
+               std::string(api::to_string(a.error().code)) + " vs " +
+               api::to_string(b.error().code) + ")");
+    return;
+  }
+  const api::Response& ra = a.value();
+  const api::Response& rb = b.value();
+  expect(dbits(ra.model_near.delay) == dbits(rb.model_near.delay) &&
+             dbits(ra.model_near.slew) == dbits(rb.model_near.slew),
+         what + ": near-end metrics differ bitwise");
+  expect(ra.has_model_far == rb.has_model_far, what + ": has_model_far differs");
+  if (!ra.has_model_far) return;
+  expect(dbits(ra.model_far.delay) == dbits(rb.model_far.delay) &&
+             dbits(ra.model_far.slew) == dbits(rb.model_far.slew),
+         what + ": far-end metrics differ bitwise");
+  expect(ra.solver == rb.solver, what + ": replay solvers differ");
+  expect_wave_bitwise(ra.model_far_wave, rb.model_far_wave,
+                      what + ": far-end waveform");
+}
+
+// Rebuilds `src` element-for-element in declaration order.  perturb_index
+// picks one value across resistors/capacitors/inductors (in that order) to
+// bump by one ULP; -1 reproduces the netlist exactly.
+ckt::Netlist rebuild_netlist(const ckt::Netlist& src, std::ptrdiff_t perturb_index) {
+  auto tweak = [&perturb_index](double v) {
+    return perturb_index-- == 0
+               ? std::nextafter(v, std::numeric_limits<double>::infinity())
+               : v;
+  };
+  ckt::Netlist out;
+  while (out.node_count() < src.node_count()) out.add_node();
+  for (const ckt::Resistor& r : src.resistors()) {
+    out.add_resistor(r.a, r.b, tweak(r.resistance));
+  }
+  for (const ckt::Capacitor& c : src.capacitors()) {
+    out.add_capacitor(c.a, c.b, tweak(c.capacitance));
+  }
+  for (const ckt::Inductor& l : src.inductors()) {
+    out.add_inductor(l.a, l.b, tweak(l.inductance));
+  }
+  for (const ckt::MutualInductor& m : src.mutual_inductors()) {
+    out.add_mutual_inductor(m.la, m.lb, m.mutual);
+  }
+  for (const ckt::VSource& v : src.vsources()) {
+    out.add_vsource(v.pos, v.neg, v.voltage);
+  }
+  for (const ckt::Mosfet& f : src.mosfets()) {
+    out.add_mosfet(f.drain, f.gate, f.source, f.params, f.width, f.is_pmos);
+  }
+  return out;
+}
+
+}  // namespace
+
+void check_batched_replay_equivalence(api::Engine& engine, std::uint64_t seed,
+                                      const api::BatchOptions& options,
+                                      sim::SolverKind solver) {
+  Rng rng(seed);
+  // A few equal-topology classes (members share net + driver, differ only in
+  // slew — one factorization group each) plus a singleton that must stay on
+  // the scalar path.  Both shapes must be invisible in the numbers.
+  std::vector<api::Request> requests;
+  const std::size_t classes = 2 + rng.uniform_index(2);
+  for (std::size_t c = 0; c < classes; ++c) {
+    Rng net_rng = rng.split();
+    const net::Net net = instantiate(random_net_recipe(net_rng));
+    const double cell = rng.pick(kCells);
+    const std::size_t members = 2 + rng.uniform_index(3);
+    for (std::size_t m = 0; m < members; ++m) {
+      requests.push_back(replay_request(
+          "replay-eq-" + std::to_string(c) + "-" + std::to_string(m), net, cell,
+          rng.uniform(25 * ps, 300 * ps), solver));
+    }
+  }
+  {
+    Rng net_rng = rng.split();
+    const net::Net net = instantiate(random_net_recipe(net_rng));
+    requests.push_back(replay_request("replay-eq-singleton", net, rng.pick(kCells),
+                                      rng.uniform(25 * ps, 300 * ps), solver));
+  }
+
+  api::BatchOptions batched = options;
+  batched.batch_scenarios = true;
+  batched.n_threads = 1 + static_cast<unsigned>(rng.uniform_index(8));
+  api::BatchOptions per_slot = options;
+  per_slot.batch_scenarios = false;
+  per_slot.n_threads = 1 + static_cast<unsigned>(rng.uniform_index(8));
+
+  const std::vector<api::Outcome<api::Response>> a =
+      engine.run_batch(requests, batched);
+  const std::vector<api::Outcome<api::Response>> b =
+      engine.run_batch(requests, per_slot);
+  for (std::size_t k = 0; k < requests.size(); ++k) {
+    expect_identical_replay_slot(
+        a[k], b[k],
+        "batched-vs-per-slot, slot '" + requests[k].label + "' (" +
+            sim::to_string(solver) + ", " + std::to_string(batched.n_threads) +
+            " vs " + std::to_string(per_slot.n_threads) + " threads)");
+  }
+}
+
+void check_adversarial_grouping(std::uint64_t seed, const OracleOptions& options) {
+  Rng rng(seed);
+  Rng net_rng = rng.split();
+  const net::Net net = instantiate(random_net_recipe(net_rng));
+  const wave::Pwl source(
+      {{10 * ps, 0.0}, {10 * ps + rng.uniform(25 * ps, 300 * ps), 1.8}});
+  const tech::DeckOptions deck =
+      equivalence_deck(options, short_horizon(net, 100 * ps));
+  const tech::SourceNetDeck compiled = tech::compile_source_net(source, net, deck);
+  const sim::TransientOptions sim_opt = tech::sim_options(deck);
+  const ckt::Netlist& a = compiled.netlist;
+  const std::uint64_t hash_a = sim::scenario_group_hash(a, sim_opt);
+
+  const ckt::Netlist twin = rebuild_netlist(a, -1);
+  expect(sim::scenario_group_equal(a, twin),
+         "adversarial grouping: an identical rebuild must group with its twin");
+  expect(hash_a == sim::scenario_group_hash(twin, sim_opt),
+         "adversarial grouping: identical rebuilds hash apart");
+
+  const std::size_t values =
+      a.resistors().size() + a.capacitors().size() + a.inductors().size();
+  expect(values > 0, "adversarial grouping: compiled deck has no RLC elements");
+  const ckt::Netlist ulp = rebuild_netlist(
+      a, static_cast<std::ptrdiff_t>(rng.uniform_index(values)));
+  expect(!sim::scenario_group_equal(a, ulp),
+         "adversarial grouping: a one-ULP element perturbation shares a "
+         "factorization group");
+  expect(hash_a != sim::scenario_group_hash(ulp, sim_opt),
+         "adversarial grouping: a one-ULP element perturbation collides with "
+         "the group hash");
+
+  ckt::Netlist edged = rebuild_netlist(a, -1);
+  edged.add_resistor(1 + rng.uniform_index(a.node_count() - 1), ckt::ground, 1e6);
+  expect(!sim::scenario_group_equal(a, edged),
+         "adversarial grouping: one extra topology edge shares a "
+         "factorization group");
+  expect(hash_a != sim::scenario_group_hash(edged, sim_opt),
+         "adversarial grouping: one extra topology edge collides with the "
+         "group hash");
+}
+
+void check_chaos_replay_group(api::Engine& engine, std::uint64_t seed,
+                              const api::BatchOptions& options,
+                              std::size_t slots) {
+  expect(slots >= 2, "chaos replay group needs at least two slots");
+  Rng rng(seed);
+  Rng net_rng = rng.split();
+  const net::Net net = instantiate(random_net_recipe(net_rng));
+  const double cell = rng.pick(kCells);
+  std::vector<api::Request> clean;
+  clean.reserve(slots);
+  for (std::size_t k = 0; k < slots; ++k) {
+    clean.push_back(replay_request("chaos-replay-" + std::to_string(k), net, cell,
+                                   rng.uniform(25 * ps, 300 * ps),
+                                   sim::SolverKind::automatic));
+  }
+
+  api::BatchOptions base = options;
+  base.batch_scenarios = true;
+  base.n_threads = 1;
+  base.debug_slot_fault = nullptr;
+  const std::vector<api::Outcome<api::Response>> baseline =
+      engine.run_batch(clean, base);
+
+  const std::size_t victim = rng.uniform_index(slots);
+  constexpr FaultKind kMenu[] = {FaultKind::worker_throw,
+                                 FaultKind::instant_deadline,
+                                 FaultKind::step_budget};
+  SlotFault fault;
+  fault.kind = rng.pick(kMenu);
+
+  std::vector<api::Request> faulted = clean;
+  switch (fault.kind) {
+    case FaultKind::instant_deadline:
+      // Below any clock granularity; a wall-limited slot is also ineligible
+      // to defer, so the group shrinks to N-1 lanes before it runs.
+      faulted[victim].budget.wall_limit_s = 1e-12;
+      break;
+    case FaultKind::step_budget:
+      // Unlike the plain chaos lane (which forces the reference path), this
+      // budget meters the *deferred replay*: the victim joins the block and
+      // its lane must be retired inside it.  Any replay horizon runs well
+      // past ten steps.
+      faulted[victim].budget.max_transient_steps = 10;
+      break;
+    default:
+      break;
+  }
+
+  api::BatchOptions chaos_serial = base;
+  if (fault.kind == FaultKind::worker_throw) {
+    chaos_serial.debug_slot_fault = [victim](std::size_t slot,
+                                             util::ExecTracker&) {
+      if (slot == victim) {
+        throw std::runtime_error("injected worker fault (slot " +
+                                 std::to_string(slot) + ")");
+      }
+    };
+  }
+  api::BatchOptions chaos_wide = chaos_serial;
+  chaos_wide.n_threads = 4;
+  const std::vector<api::Outcome<api::Response>> narrow =
+      engine.run_batch(faulted, chaos_serial);
+  const std::vector<api::Outcome<api::Response>> wide =
+      engine.run_batch(faulted, chaos_wide);
+
+  const FaultExpectation e = expectation(fault);
+  for (const auto* run : {&narrow, &wide}) {
+    const char* mode = run == &narrow ? "serial" : "wide";
+    for (std::size_t k = 0; k < slots; ++k) {
+      const std::string where = "chaos replay group slot " + std::to_string(k) +
+                                " [" +
+                                (k == victim ? to_string(fault.kind) : "mate") +
+                                ", " + mode + "]";
+      if (k != victim) {
+        expect_identical_replay_slot(baseline[k], (*run)[k],
+                                     where + " vs clean baseline");
+        continue;
+      }
+      expect(!(*run)[k].ok(), where + ": expected a failed outcome, got success");
+      // A victim that fails even unfaulted may surface its own code first;
+      // mate isolation above is checked in full either way.
+      if (!baseline[k].ok() &&
+          (*run)[k].error().code == baseline[k].error().code) {
+        continue;
+      }
+      const api::ErrorInfo& err = (*run)[k].error();
+      expect(err.code == e.code,
+             where + ": expected " + std::string(api::to_string(e.code)) +
+                 ", got " + api::to_string(err.code) + " (" + err.message + ")");
+      if (*e.message_needle != '\0') {
+        expect(err.message.find(e.message_needle) != std::string::npos,
+               where + ": message '" + err.message + "' lacks '" +
+                   e.message_needle + "'");
+      }
     }
   }
 }

@@ -159,6 +159,40 @@ void check_validation_reporting(Rng rng);
 void check_chaos_batch(api::Engine& engine, std::uint64_t seed,
                        const api::BatchOptions& options, std::size_t slots = 6);
 
+// Shared-factorization replay equivalence: builds a seeded fleet of
+// far_end_replay requests — a few equal-topology groups whose members differ
+// only in input slew, plus a singleton — and requires run_batch with
+// batch_scenarios on and off to agree bitwise per slot (near- and far-end
+// metrics, solver, the full far-end waveform; error codes for failed slots)
+// at independently drawn thread counts.  `solver` pins every replay deck to
+// one backend, so forcing each explicit kind in turn marches the whole
+// random-topology family through all three blocked substitution paths.
+void check_batched_replay_equivalence(api::Engine& engine, std::uint64_t seed,
+                                      const api::BatchOptions& options,
+                                      sim::SolverKind solver);
+
+// Adversarial grouping: compiles a random net's source deck, rebuilds it
+// element-for-element (must group: scenario_group_equal, same hash), then
+// perturbs one seeded element value by one ULP and separately grounds one
+// extra resistor at a seeded node — either near-identical deck must never
+// share a factorization, and the cheap hash key alone must already separate
+// it (a hash collision would demote every lookup to the exhaustive compare).
+void check_adversarial_grouping(std::uint64_t seed, const OracleOptions& options);
+
+// N-1 isolation under grouping — the chaos lane's batched-replay variant:
+// builds one shared-factorization replay group, injects a seeded fault
+// (worker_throw, instant_deadline, or step_budget) into one member, and
+// requires the faulted batch to fail exactly that slot with the fault's
+// contractual ErrorCode while every group-mate stays bitwise identical to
+// the clean batched baseline, serial and wide.  worker_throw and
+// instant_deadline kill the victim before its replay is enqueued (the group
+// runs as N-1 lanes); step_budget lets the victim join the block and die
+// inside it (its lane is retired mid-block) — both shapes must leave the
+// mates' waveforms untouched.
+void check_chaos_replay_group(api::Engine& engine, std::uint64_t seed,
+                              const api::BatchOptions& options,
+                              std::size_t slots = 4);
+
 // Fault-injection self-test of the simulator's non-finite-solution guard:
 // poisons the cached-path stamp of the net's first capacitor
 // (sim::TransientOptions::debug_cached_stamp_nan) on a source-driven linear

@@ -78,6 +78,39 @@ void lu_solve_into(const LuFactors& f, std::span<double> x) {
   }
 }
 
+void lu_solve_block(const LuFactors& f, std::span<double> x, std::size_t lanes,
+                    std::size_t stride) {
+  const std::size_t n = f.lu.rows();
+  ensure(lanes > 0 && lanes <= stride, "lu_solve_block: bad lane count");
+  ensure(x.size() == n * stride, "lu_solve_block: rhs block size mismatch");
+
+  // __restrict row pointers: distinct rows of x are disjoint, letting the
+  // lane loops vectorize (see BandedMatrix::solve_block).
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t p = f.perm[k];
+    double* __restrict xk = &x[k * stride];
+    if (p != k) {
+      double* __restrict xp = &x[p * stride];
+      for (std::size_t s = 0; s < lanes; ++s) std::swap(xk[s], xp[s]);
+    }
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double m = f.lu(i, k);
+      double* __restrict xi = &x[i * stride];
+      for (std::size_t s = 0; s < lanes; ++s) xi[s] -= m * xk[s];
+    }
+  }
+  for (std::size_t k = n; k-- > 0;) {
+    double* __restrict xk = &x[k * stride];
+    for (std::size_t j = k + 1; j < n; ++j) {
+      const double m = f.lu(k, j);
+      const double* __restrict xj = &x[j * stride];
+      for (std::size_t s = 0; s < lanes; ++s) xk[s] -= m * xj[s];
+    }
+    const double d = f.lu(k, k);
+    for (std::size_t s = 0; s < lanes; ++s) xk[s] /= d;
+  }
+}
+
 std::vector<double> solve_dense(const DenseMatrix& a, std::span<const double> b) {
   return lu_solve(lu_factor(a), b);
 }
@@ -181,6 +214,42 @@ void BandedMatrix::solve_into(std::span<double> x) const {
     const std::size_t jlast = std::min(n_ - 1, k + ku_tot_);
     for (std::size_t j = k + 1; j <= jlast; ++j) x[k] -= at(k, j) * x[j];
     x[k] /= at(k, k);
+  }
+}
+
+void BandedMatrix::solve_block(std::span<double> x, std::size_t lanes,
+                               std::size_t stride) const {
+  ensure(factored_, "BandedMatrix: solve before factor");
+  ensure(lanes > 0 && lanes <= stride, "BandedMatrix: bad lane count");
+  ensure(x.size() == n_ * stride, "BandedMatrix: rhs block size mismatch");
+
+  // Row pointers are __restrict so the lane loops vectorize: distinct row
+  // indices address disjoint stride-sized rows of x, which the compiler
+  // cannot deduce from the raw spans on its own.
+  for (std::size_t k = 0; k < n_; ++k) {
+    const std::size_t p = pivot_[k];
+    double* __restrict xk = &x[k * stride];
+    if (p != k) {
+      double* __restrict xp = &x[p * stride];
+      for (std::size_t s = 0; s < lanes; ++s) std::swap(xk[s], xp[s]);
+    }
+    const std::size_t ilast = std::min(n_ - 1, k + kl_);
+    for (std::size_t i = k + 1; i <= ilast; ++i) {
+      const double m = at(i, k);
+      double* __restrict xi = &x[i * stride];
+      for (std::size_t s = 0; s < lanes; ++s) xi[s] -= m * xk[s];
+    }
+  }
+  for (std::size_t k = n_; k-- > 0;) {
+    double* __restrict xk = &x[k * stride];
+    const std::size_t jlast = std::min(n_ - 1, k + ku_tot_);
+    for (std::size_t j = k + 1; j <= jlast; ++j) {
+      const double m = at(k, j);
+      const double* __restrict xj = &x[j * stride];
+      for (std::size_t s = 0; s < lanes; ++s) xk[s] -= m * xj[s];
+    }
+    const double d = at(k, k);
+    for (std::size_t s = 0; s < lanes; ++s) xk[s] /= d;
   }
 }
 

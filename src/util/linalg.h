@@ -54,6 +54,16 @@ std::vector<double> lu_solve(const LuFactors& f, std::span<const double> b);
 // nothing.
 void lu_solve_into(const LuFactors& f, std::span<double> x);
 
+// Blocked multi-RHS solve over one factorization.  `x` is an n x stride
+// row-major block holding `lanes` right-hand sides: lane s of unknown i lives
+// at x[i * stride + s] (lanes <= stride; the extra columns are untouched).
+// Each lane executes exactly the operation sequence of lu_solve_into on that
+// lane alone — same swaps, same elimination order — so every lane's result is
+// bitwise-identical to an independent single-RHS solve, while the inner loops
+// run contiguously across lanes and vectorize.
+void lu_solve_block(const LuFactors& f, std::span<double> x, std::size_t lanes,
+                    std::size_t stride);
+
 // Convenience: factor and solve in one call.
 std::vector<double> solve_dense(const DenseMatrix& a, std::span<const double> b);
 
@@ -92,6 +102,11 @@ public:
   // nothing, so the per-step cost of a pre-factored system is one O(n * bw)
   // substitution sweep.
   void solve_into(std::span<double> x) const;
+
+  // Blocked multi-RHS solve (see lu_solve_block): `lanes` right-hand sides in
+  // an n x stride row-major block, each lane bitwise-identical to solve_into
+  // on that lane alone.
+  void solve_block(std::span<double> x, std::size_t lanes, std::size_t stride) const;
 
 private:
   double& at(std::size_t r, std::size_t c);

@@ -250,4 +250,48 @@ void SparseLu::solve_into(std::span<double> x, ExecTracker* budget) const {
   for (std::size_t k = 0; k < n_; ++k) x[q_[k]] = work_[k];
 }
 
+void SparseLu::solve_block(std::span<double> x, std::size_t lanes,
+                           std::size_t stride) const {
+  ensure(factored_, "SparseLu::solve_block: factor() first");
+  ensure(lanes > 0 && lanes <= stride, "SparseLu::solve_block: bad lane count");
+  ensure(x.size() == n_ * stride, "SparseLu::solve_block: size mismatch");
+  if (work_block_.size() < n_ * stride) work_block_.resize(n_ * stride);
+  double* w = work_block_.data();
+
+  for (std::size_t i = 0; i < n_; ++i) {
+    const double* xi = &x[i * stride];
+    double* wi = w + pinv_[i] * stride;
+    for (std::size_t s = 0; s < lanes; ++s) wi[s] = xi[s];
+  }
+  // The zero-value skips mirror solve_into exactly, per lane: skipping an
+  // update is not bitwise-neutral in IEEE arithmetic (-0 - -0 == +0), so the
+  // lane loop sits outside the column scatter to keep the skip per lane.
+  for (std::size_t k = 0; k < n_; ++k) {
+    const double* wk = w + k * stride;
+    for (std::size_t s = 0; s < lanes; ++s) {
+      const double v = wk[s];
+      if (v == 0.0) continue;
+      for (std::size_t p = lp_[k] + 1; p < lp_[k + 1]; ++p) {
+        w[li_[p] * stride + s] -= lx_[p] * v;
+      }
+    }
+  }
+  for (std::size_t k = n_; k-- > 0;) {
+    const double d = ux_[up_[k + 1] - 1];
+    double* wk = w + k * stride;
+    for (std::size_t s = 0; s < lanes; ++s) {
+      const double v = (wk[s] /= d);
+      if (v == 0.0) continue;
+      for (std::size_t p = up_[k]; p + 1 < up_[k + 1]; ++p) {
+        w[ui_[p] * stride + s] -= ux_[p] * v;
+      }
+    }
+  }
+  for (std::size_t k = 0; k < n_; ++k) {
+    const double* wk = w + k * stride;
+    double* xq = &x[q_[k] * stride];
+    for (std::size_t s = 0; s < lanes; ++s) xq[s] = wk[s];
+  }
+}
+
 }  // namespace rlceff::util

@@ -9,6 +9,8 @@
 
 #include <gtest/gtest.h>
 
+#include <bit>
+#include <cstdint>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -546,6 +548,123 @@ TEST_F(EngineFixture, LintScreenRejectsPerSlotAndNeverDegrades) {
   const Response clean =
       engine_->model(inductive_request("screen-ref"), fast_options()).value();
   EXPECT_DOUBLE_EQ(clean.model_near.delay, results[1].value().model_near.delay);
+}
+
+// ---- far_end_replay + scenario batching ---------------------------------
+
+std::uint64_t api_dbits(double v) { return std::bit_cast<std::uint64_t>(v); }
+
+void expect_wave_bitwise(const wave::Waveform& a, const wave::Waveform& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(api_dbits(a.time(i)), api_dbits(b.time(i))) << "t[" << i << "]";
+    ASSERT_EQ(api_dbits(a.value(i)), api_dbits(b.value(i))) << "v[" << i << "]";
+  }
+}
+
+Request replay_request(std::string label, double input_slew) {
+  Request r = inductive_request(std::move(label));
+  r.input_slew = input_slew;
+  r.far_end_replay = true;
+  r.keep_waveforms = true;
+  return r;
+}
+
+TEST_F(EngineFixture, FarEndReplayValidation) {
+  Request with_reference = replay_request("replay-ref", 100 * ps);
+  with_reference.reference = true;
+  ASSERT_FALSE(engine_->model(with_reference, fast_options()).ok());
+
+  Request tiered = replay_request("replay-tier", 100 * ps);
+  tiered.tier = tier::TierPolicy::balanced;
+  ASSERT_FALSE(engine_->model(tiered, fast_options()).ok());
+
+  Request coupled = replay_request("replay-coupled", 100 * ps);
+  coupled.net = net::Net();
+  coupled.group = net::CoupledGroup::single(inductive_net());
+  ASSERT_FALSE(engine_->model(coupled, fast_options()).ok());
+}
+
+TEST_F(EngineFixture, FarEndReplayProducesModelFar) {
+  const Outcome<Response> outcome =
+      engine_->model(replay_request("replay-single", 100 * ps), fast_options());
+  ASSERT_TRUE(outcome.ok());
+  const Response& r = outcome.value();
+  EXPECT_FALSE(r.has_reference);
+  ASSERT_TRUE(r.has_model_far);
+  EXPECT_TRUE(r.has_solver);
+  EXPECT_NE(sim::SolverKind::automatic, r.solver);
+  EXPECT_GT(r.model_far.delay, 0.0);
+  EXPECT_GT(r.model_far.slew, 0.0);
+  EXPECT_GT(r.model_far_wave.size(), 0u);
+  // The replayed far end arrives after the near-end model edge.
+  EXPECT_GT(r.model_far.delay, r.model_near.delay);
+}
+
+TEST_F(EngineFixture, BatchedReplayBitwiseMatchesPerSlot) {
+  // Five equal-topology slots (only the slew differs -> one factorization
+  // group) plus one on a different wire (its own group).
+  std::vector<Request> requests;
+  for (double slew : {40 * ps, 80 * ps, 120 * ps, 160 * ps, 200 * ps}) {
+    requests.push_back(
+        replay_request("replay-" + std::to_string(int(slew / ps)), slew));
+  }
+  Request other = replay_request("replay-other-net", 100 * ps);
+  other.net = tech::line_net(*tech::find_paper_wire_case(3.0, 1.6), 20 * ff);
+  requests.push_back(other);
+
+  BatchOptions batched = fast_options();
+  batched.batch_scenarios = true;
+  BatchOptions per_slot = fast_options();
+  per_slot.batch_scenarios = false;
+
+  const std::vector<Outcome<Response>> a = engine_->run_batch(requests, batched);
+  const std::vector<Outcome<Response>> b = engine_->run_batch(requests, per_slot);
+  ASSERT_EQ(requests.size(), a.size());
+  ASSERT_EQ(requests.size(), b.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    ASSERT_TRUE(a[i].ok()) << requests[i].label << ": "
+                           << (a[i].ok() ? "" : a[i].error().message);
+    ASSERT_TRUE(b[i].ok()) << requests[i].label << ": "
+                           << (b[i].ok() ? "" : b[i].error().message);
+    const Response& ra = a[i].value();
+    const Response& rb = b[i].value();
+    ASSERT_TRUE(ra.has_model_far);
+    ASSERT_TRUE(rb.has_model_far);
+    EXPECT_EQ(api_dbits(ra.model_far.delay), api_dbits(rb.model_far.delay))
+        << requests[i].label;
+    EXPECT_EQ(api_dbits(ra.model_far.slew), api_dbits(rb.model_far.slew))
+        << requests[i].label;
+    EXPECT_EQ(rb.solver, ra.solver);
+    expect_wave_bitwise(ra.model_far_wave, rb.model_far_wave);
+  }
+}
+
+TEST_F(EngineFixture, BatchedReplayIsolatesBudgetedSlot) {
+  // Slot 1 carries a transient step budget too small for its replay: it must
+  // fail with resource_exhausted while its group-mates stay bitwise equal to
+  // an unfaulted batch.
+  std::vector<Request> requests;
+  for (double slew : {50 * ps, 100 * ps, 150 * ps}) {
+    requests.push_back(
+        replay_request("iso-" + std::to_string(int(slew / ps)), slew));
+  }
+  const std::vector<Outcome<Response>> clean =
+      engine_->run_batch(requests, fast_options());
+  for (const auto& o : clean) ASSERT_TRUE(o.ok());
+
+  requests[1].budget.max_transient_steps = 10;
+  const std::vector<Outcome<Response>> faulted =
+      engine_->run_batch(requests, fast_options());
+  ASSERT_FALSE(faulted[1].ok());
+  EXPECT_EQ(ErrorCode::resource_exhausted, faulted[1].error().code);
+  for (std::size_t i : {std::size_t{0}, std::size_t{2}}) {
+    ASSERT_TRUE(faulted[i].ok()) << i;
+    EXPECT_EQ(api_dbits(clean[i].value().model_far.delay),
+              api_dbits(faulted[i].value().model_far.delay));
+    expect_wave_bitwise(clean[i].value().model_far_wave,
+                        faulted[i].value().model_far_wave);
+  }
 }
 
 }  // namespace

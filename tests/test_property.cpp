@@ -489,6 +489,74 @@ TEST(PropertySuite, ChaosBatch) {
       });
 }
 
+// Replay fleets run at chaos fidelity (short decks, coarse dt): the oracle
+// runs each fleet twice per backend, and the forced-dense pass would
+// otherwise dominate the suite.
+api::BatchOptions replay_batch_options() {
+  api::BatchOptions options = property_batch_options();
+  options.deck.segments = 12;
+  options.deck.dt = 1 * ps;
+  return options;
+}
+
+// Scenario batching is an execution strategy, not an estimator: over random
+// topologies, random group shapes, all three forced backends (plus the
+// automatic selection), and independently drawn thread counts, batched and
+// per-slot replays must agree to the last bit of the far-end waveform.
+TEST(PropertySuite, BatchedReplayEquivalence) {
+  shared_engine();
+  run_family(
+      "batched_replay_equivalence", 16, 4, [](std::uint64_t seed) -> std::string {
+        constexpr sim::SolverKind kKinds[] = {
+            sim::SolverKind::automatic, sim::SolverKind::dense,
+            sim::SolverKind::banded, sim::SolverKind::sparse};
+        for (sim::SolverKind kind : kKinds) {
+          try {
+            check_batched_replay_equivalence(shared_engine(), seed,
+                                             replay_batch_options(), kind);
+          } catch (const Error& e) {
+            return report("batched_replay_equivalence", seed,
+                          std::string("replay fleet, forced ") +
+                              sim::to_string(kind),
+                          e.what(), nullptr);
+          }
+        }
+        return {};
+      });
+}
+
+// Near-identical is not identical: a one-ULP element value or one extra
+// topology edge on a random compiled deck must never land in an existing
+// factorization group, and the cheap hash key alone must already split it.
+TEST(PropertySuite, AdversarialGrouping) {
+  run_family("adversarial_grouping", 150, 1, [](std::uint64_t seed) -> std::string {
+    try {
+      check_adversarial_grouping(seed, sim_oracle_options());
+      return {};
+    } catch (const Error& e) {
+      return report("adversarial_grouping", seed, "compiled source deck",
+                    e.what(), nullptr);
+    }
+  });
+}
+
+// The chaos lane's batched-replay variant: one faulted member of a
+// shared-factorization group (worker_throw, instant_deadline, or
+// step_budget) must fail with its contractual code while its group-mates
+// stay bitwise identical to the clean batched baseline.
+TEST(PropertySuite, ChaosReplayGroup) {
+  shared_engine();
+  run_family("chaos_replay_group", 60, 4, [](std::uint64_t seed) -> std::string {
+    try {
+      check_chaos_replay_group(shared_engine(), seed, replay_batch_options());
+      return {};
+    } catch (const Error& e) {
+      return report("chaos_replay_group", seed, "4-slot replay group", e.what(),
+                    nullptr);
+    }
+  });
+}
+
 TEST(PropertySuite, NanStampGuard) {
   run_family("nan_stamp_guard", 60, 1, [](std::uint64_t seed) {
     return run_net_instance("nan_stamp_guard", seed, [](const net::Net& net, Rng rng) {

@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Diff the metric key set the perf benches declare against BENCH_perf.json.
+
+Usage: check_bench_keys.py <BENCH_perf.json> <declared-keys.txt>
+
+<declared-keys.txt> holds one metric name per line, the concatenated output
+of every perf bench's --list-metrics mode.  The checked-in trajectory file
+must carry exactly that key set: a missing key means the checked-in file is
+stale (a bench grew a metric and BENCH_perf.json was not regenerated), an
+extra key means a bench dropped or renamed a metric the file still carries.
+Either way CI would be gating on numbers no bench produces, so both fail.
+"""
+import json
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 1
+    bench_path, keys_path = sys.argv[1], sys.argv[2]
+
+    with open(bench_path) as f:
+        doc = json.load(f)
+    checked_in = {m["name"] for m in doc["metrics"]}
+
+    with open(keys_path) as f:
+        declared = {line.strip() for line in f if line.strip()}
+
+    missing = sorted(declared - checked_in)
+    extra = sorted(checked_in - declared)
+    for name in missing:
+        print(f"check_bench_keys: '{name}' is declared by a bench but missing "
+              f"from {bench_path} (regenerate the checked-in file)",
+              file=sys.stderr)
+    for name in extra:
+        print(f"check_bench_keys: '{name}' is in {bench_path} but no bench "
+              f"declares it (stale key, or --list-metrics out of date)",
+              file=sys.stderr)
+    if missing or extra:
+        return 1
+    print(f"check_bench_keys: {len(declared)} metric keys match {bench_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

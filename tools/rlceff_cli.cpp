@@ -88,6 +88,20 @@
 //                        --json reports the serving tier and escalation
 //                        count per net plus a per-tier count summary; text
 //                        mode prints the summary as a trailing comment
+//     --far-end          model-only far-end replay: each uncoupled slot
+//                        replays its modeled driver waveform through the net
+//                        and reports the far-end delay/slew (the paper's
+//                        Fig-6 flow) without running the full transient
+//                        reference.  Incompatible with --reference (which
+//                        computes the far end itself) and --tier.  Coupled
+//                        victims stay near-end-only.
+//     --batch-scenarios on|off
+//                        shared-factorization scenario batching for the
+//                        --far-end replays (default on): equal-topology
+//                        slots are grouped, factored once, and advanced as
+//                        one blocked multi-RHS solve.  Waveforms are
+//                        bitwise-identical either way; off forces the
+//                        per-slot scalar path (debugging/perf comparison)
 //     --lint-screen      normal run, but with the Engine admission screen
 //                        armed at warn severity and the deep passes enabled:
 //                        slots with warn-or-worse findings fail with error
@@ -136,6 +150,8 @@ struct CliOptions {
   tier::TierPolicy tier = tier::TierPolicy::reference;  // no routing
   bool lint = false;         // lint-only mode: diagnose, never simulate
   bool lint_screen = false;  // normal run with the admission screen armed
+  bool far_end = false;      // model-only far-end replay per uncoupled slot
+  bool batch_scenarios = true;  // shared-factorization replay grouping
 };
 
 void usage(const char* argv0) {
@@ -144,7 +160,8 @@ void usage(const char* argv0) {
                "[--reference] [--threads <n>] [--json] "
                "[--solver auto|dense|banded|sparse] [--deadline-ms <t>] "
                "[--max-steps <n>] [--degrade] [--lint] [--lint-screen] "
-               "[--tier balanced|fastest|a|b|c] <deck-file>\n",
+               "[--tier balanced|fastest|a|b|c] [--far-end] "
+               "[--batch-scenarios on|off] <deck-file>\n",
                argv0);
 }
 
@@ -212,6 +229,16 @@ bool parse_args(int argc, char** argv, CliOptions& opt) {
       opt.lint = true;
     } else if (arg == "--lint-screen") {
       opt.lint_screen = true;
+    } else if (arg == "--far-end") {
+      opt.far_end = true;
+    } else if (arg == "--batch-scenarios") {
+      const char* v = next();
+      if (v == nullptr ||
+          (std::strcmp(v, "on") != 0 && std::strcmp(v, "off") != 0)) {
+        std::fprintf(stderr, "--batch-scenarios needs on or off\n");
+        return false;
+      }
+      opt.batch_scenarios = std::strcmp(v, "on") == 0;
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
       return false;
@@ -226,6 +253,13 @@ bool parse_args(int argc, char** argv, CliOptions& opt) {
     std::fprintf(stderr,
                  "--reference is incompatible with --tier; use --tier c to pin "
                  "the transient reference\n");
+    return false;
+  }
+  if (opt.far_end &&
+      (opt.reference || opt.tier != tier::TierPolicy::reference)) {
+    std::fprintf(stderr,
+                 "--far-end is the model-only replay; --reference computes the "
+                 "far end itself and a tier policy routes around it\n");
     return false;
   }
   return !opt.deck_path.empty();
@@ -655,6 +689,10 @@ void print_json(const CliOptions& cli, const std::vector<DeckNet>& slots,
     if (r.has_solver) {
       std::printf(", \"solver\": \"%s\"", sim::to_string(r.solver));
     }
+    if (r.has_model_far) {
+      std::printf(", \"far_delay_ps\": %.4f, \"far_slew_ps\": %.4f",
+                  r.model_far.delay / ps, r.model_far.slew / ps);
+    }
     if (r.has_reference) {
       std::printf(", \"ref_delay_ps\": %.4f, \"ref_slew_ps\": %.4f",
                   r.ref_near.delay / ps, r.ref_near.slew / ps);
@@ -762,6 +800,7 @@ int main(int argc, char** argv) {
 
   api::BatchOptions options;
   options.n_threads = cli.n_threads;
+  options.batch_scenarios = cli.batch_scenarios;
   if (cli.small_grid) {
     options.grid.input_slews = {50 * ps, 100 * ps, 200 * ps};
     options.grid.loads = {50 * ff, 200 * ff, 500 * ff, 1 * pf, 2 * pf, 4 * pf};
@@ -814,6 +853,9 @@ int main(int argc, char** argv) {
     r.reference = cli.reference;
     r.tier = cli.tier;
     r.far_end = false;
+    // Model-only far-end replay; coupled victims stay near-end-only (the
+    // replay is a single-net transient).
+    r.far_end_replay = cli.far_end && component[k] == static_cast<std::size_t>(-1);
     r.solver = cli.solver;
     r.budget.wall_limit_s = cli.deadline_ms * 1e-3;
     r.budget.max_transient_steps = cli.max_steps;
@@ -972,6 +1014,11 @@ int main(int argc, char** argv) {
         std::printf("#   %s: degraded to %s after %zu abandoned attempt(s)\n",
                     r.label.c_str(), api::to_string(r.fidelity),
                     r.attempts.size());
+      }
+      if (r.has_model_far) {
+        std::printf("#   %s: far end (replay) delay %.2f ps, slew %.2f ps\n",
+                    r.label.c_str(), r.model_far.delay / ps,
+                    r.model_far.slew / ps);
       }
       if (r.has_coupling) {
         std::printf("#   %s: coupled victim, model pushout %+.2f ps",
